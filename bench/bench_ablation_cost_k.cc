@@ -1,0 +1,37 @@
+// Ablation G: anonymization cost as a function of k (the complexity
+// discussion of Section 3.3: at most (k-1)|V| vertices and O(k^2 |V|^2)
+// edges in the worst case; in practice edges scale with the degree mass of
+// under-k orbits).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader("Ablation G: anonymization cost vs k");
+  std::printf("%-11s %4s %12s %12s %12s %10s\n", "Network", "k", "vertices+",
+              "edges+", "|V'|/|V|", "ms");
+  bench::PrintRule();
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    for (uint32_t k : {2u, 3u, 5u, 8u, 10u, 15u, 20u}) {
+      Timer timer;
+      const AnonymizationResult release = bench::Release(dataset, k);
+      const double blowup =
+          static_cast<double>(release.graph.NumVertices()) /
+          static_cast<double>(dataset.graph.NumVertices());
+      std::printf("%-11s %4u %12zu %12zu %12.2f %10.1f\n",
+                  dataset.name.c_str(), k, release.vertices_added,
+                  release.edges_added, blowup, timer.ElapsedMillis());
+      // Section 3.3 bound, checked live.
+      KSYM_CHECK(release.vertices_added <=
+                 (k - 1) * dataset.graph.NumVertices());
+    }
+    bench::PrintRule();
+  }
+  std::printf(
+      "Expected shape (Section 3.3): vertices+ grows at most linearly in k\n"
+      "(bounded by (k-1)|V|); edge insertions dominate and grow\n"
+      "super-linearly on hub-heavy networks, motivating Section 5.2.\n");
+  return 0;
+}

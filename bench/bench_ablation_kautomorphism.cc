@@ -1,0 +1,68 @@
+// Ablation H: k-symmetry (orbit copying) vs the k-copy construction (the
+// trivial k-automorphic release) — the cost comparison the paper's
+// conclusion poses as future work.
+//
+// Both releases provably resist every structural attack at level k. Their
+// costs differ structurally: orbit copying pays vertices only for deficient
+// orbits but replays each copied vertex's full edge set (hub degrees
+// multiply); k-copy pays the complete (k-1)(|V| + |E|) bill but never
+// amplifies a degree. Utility recovery also differs: samples from both are
+// compared against the original's degree distribution.
+
+#include <cstdio>
+
+#include "baseline/kcopy.h"
+#include "bench/bench_util.h"
+#include "ksym/sampling.h"
+#include "stats/distributions.h"
+#include "stats/ks.h"
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader("Ablation H: k-symmetry vs k-copy (trivial k-automorphism)");
+  Rng rng(311);
+  constexpr size_t kSamples = 10;
+
+  std::printf("%-11s %3s %-10s %12s %12s %12s\n", "Network", "k", "method",
+              "vertices+", "edges+", "KS-degree");
+  bench::PrintRule();
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    const auto original_degrees = DegreeValues(dataset.graph);
+    for (uint32_t k : {5u, 10u}) {
+      const AnonymizationResult ksym_release = bench::Release(dataset, k);
+      const auto kcopy = KCopyAnonymize(dataset.graph, k);
+      KSYM_CHECK(kcopy.ok());
+
+      auto sampled_ks = [&](const Graph& graph,
+                            const VertexPartition& partition,
+                            size_t original) {
+        double total = 0;
+        for (size_t i = 0; i < kSamples; ++i) {
+          const auto sample =
+              ApproximateBackboneSample(graph, partition, original, rng);
+          KSYM_CHECK(sample.ok());
+          total += KolmogorovSmirnovStatistic(original_degrees,
+                                              DegreeValues(*sample));
+        }
+        return total / kSamples;
+      };
+
+      std::printf("%-11s %3u %-10s %12zu %12zu %12.3f\n",
+                  dataset.name.c_str(), k, "k-symmetry",
+                  ksym_release.vertices_added, ksym_release.edges_added,
+                  sampled_ks(ksym_release.graph, ksym_release.partition,
+                             ksym_release.original_vertices));
+      std::printf("%-11s %3u %-10s %12zu %12zu %12.3f\n", "", k, "k-copy",
+                  kcopy->vertices_added, kcopy->edges_added,
+                  sampled_ks(kcopy->graph, kcopy->partition,
+                             kcopy->original_vertices));
+    }
+    bench::PrintRule();
+  }
+  std::printf(
+      "\nShape: k-symmetry wins on inserted vertices wherever the graph\n"
+      "carries symmetry; k-copy wins on inserted edges on hub-dominated\n"
+      "networks (no degree amplification) at the price of an obviously\n"
+      "replicated, disconnected release. Both recover utility well.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation D: why single-knowledge k-anonymity models are insufficient —
+// the quantitative version of the paper's Section 2.2 motivation.
+//
+// Makes each network k-degree anonymous (Liu & Terzi, the paper's reference
+// [7]) and then attacks it with the combined measure. A k-degree anonymous
+// graph protects against the *degree* measure by construction, but the
+// combined measure still isolates individuals; the k-symmetric release
+// resists every measure by construction.
+
+#include <cstdio>
+
+#include "attack/measures.h"
+#include "attack/reidentification.h"
+#include "baseline/kdegree.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace ksym;
+
+// Fraction of vertices whose candidate set under `measure` is smaller
+// than k (i.e. insufficiently protected at level k).
+double UnderProtectedFraction(const Graph& graph,
+                              const StructuralMeasure& measure, uint32_t k) {
+  const VertexPartition partition = PartitionByMeasure(graph, measure);
+  size_t under = 0;
+  for (const auto& cell : partition.cells) {
+    if (cell.size() < k) under += cell.size();
+  }
+  return static_cast<double>(under) /
+         static_cast<double>(graph.NumVertices());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader(
+      "Ablation D: k-degree anonymity vs k-symmetry under combined knowledge");
+  constexpr uint32_t kK = 5;
+  Rng rng(20080610);  // SIGMOD'08.
+
+  std::printf("%-11s %-12s %16s %16s %16s\n", "Network", "release",
+              "under-k(degree)", "under-k(combined)", "edges/vertices+");
+  bench::PrintRule();
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    // k-degree anonymous release.
+    const auto kdeg = KDegreeAnonymize(dataset.graph, kK, rng);
+    if (kdeg.ok()) {
+      std::printf("%-11s %-12s %15.1f%% %15.1f%% %10zu/%zu\n",
+                  dataset.name.c_str(), "k-degree",
+                  100 * UnderProtectedFraction(kdeg->graph, DegreeMeasure(), kK),
+                  100 * UnderProtectedFraction(kdeg->graph, CombinedMeasure(), kK),
+                  kdeg->edges_added, size_t{0});
+    } else {
+      std::printf("%-11s %-12s realization failed: %s\n",
+                  dataset.name.c_str(), "k-degree",
+                  kdeg.status().ToString().c_str());
+    }
+    // k-symmetric release.
+    const AnonymizationResult ksym_release = bench::Release(dataset, kK);
+    std::printf("%-11s %-12s %15.1f%% %15.1f%% %10zu/%zu\n", "", "k-symmetry",
+                100 * UnderProtectedFraction(ksym_release.graph,
+                                             DegreeMeasure(), kK),
+                100 * UnderProtectedFraction(ksym_release.graph,
+                                             CombinedMeasure(), kK),
+                ksym_release.edges_added, ksym_release.vertices_added);
+  }
+  std::printf(
+      "\nExpected shape (Section 2.2): k-degree leaves 0%% exposed to the\n"
+      "degree measure but a large fraction exposed to combined knowledge;\n"
+      "k-symmetry leaves 0%% exposed to either.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation F: random edge perturbation (Hay et al. 2007, Section 6 related
+// work) vs k-symmetry — privacy/utility trade-off.
+//
+// Perturbation at fraction p deletes and reinserts p*|E| random edges. The
+// paper's critique: "effective to resist some kind of attacks but suffers a
+// significant cost in utility" — and, unlike k-symmetry, it offers no
+// worst-case guarantee: many vertices stay uniquely identifiable.
+
+#include <cstdio>
+
+#include "attack/measures.h"
+#include "baseline/perturbation.h"
+#include "bench/bench_util.h"
+#include "ksym/sampling.h"
+#include "stats/distributions.h"
+#include "stats/ks.h"
+
+namespace {
+
+using namespace ksym;
+
+double UniqueFraction(const Graph& graph, const StructuralMeasure& measure) {
+  const VertexPartition cells = PartitionByMeasure(graph, measure);
+  return static_cast<double>(cells.NumSingletons()) /
+         static_cast<double>(graph.NumVertices());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader(
+      "Ablation F: random perturbation vs k-symmetry (privacy & utility)");
+  Rng rng(307);
+
+  std::printf("%-11s %-18s %12s %12s\n", "Network", "release",
+              "unique(comb)", "KS-degree");
+  bench::PrintRule();
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    const auto original_degrees = DegreeValues(dataset.graph);
+
+    for (double fraction : {0.05, 0.10, 0.20}) {
+      const auto perturbed =
+          RandomEdgePerturbation(dataset.graph, fraction, rng);
+      KSYM_CHECK(perturbed.ok());
+      // Utility: the perturbed graph *is* the release; no recovery step.
+      const double ks = KolmogorovSmirnovStatistic(
+          original_degrees, DegreeValues(perturbed->graph));
+      std::printf("%-11s perturb %3.0f%%       %11.1f%% %12.3f\n",
+                  dataset.name.c_str(), 100 * fraction,
+                  100 * UniqueFraction(perturbed->graph, CombinedMeasure()),
+                  ks);
+    }
+
+    const AnonymizationResult release = bench::Release(dataset, 5);
+    double ks_sampled = 0;
+    constexpr int kSamples = 10;
+    for (int i = 0; i < kSamples; ++i) {
+      const auto sample = ApproximateBackboneSample(
+          release.graph, release.partition, release.original_vertices, rng);
+      KSYM_CHECK(sample.ok());
+      ks_sampled += KolmogorovSmirnovStatistic(original_degrees,
+                                               DegreeValues(*sample));
+    }
+    std::printf("%-11s k-symmetry (k=5)   %11.1f%% %12.3f\n",
+                dataset.name.c_str(),
+                100 * UniqueFraction(release.graph, CombinedMeasure()),
+                ks_sampled / kSamples);
+    bench::PrintRule();
+  }
+  std::printf(
+      "\nExpected shape (Section 6 critique): perturbation leaves a large\n"
+      "unique-identification fraction at every level while degrading the\n"
+      "degree distribution; k-symmetry drives unique identification to 0\n"
+      "with comparable or better recovered utility.\n");
+  return 0;
+}

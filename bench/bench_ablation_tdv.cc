@@ -1,0 +1,36 @@
+// Ablation C: total degree partition TDV(G) vs exact Orb(G) — the paper's
+// Section 7 scalability claim.
+//
+// The paper: "We are surprised to find that for all the real networks that
+// we've studied TDV(G) = Orb(G)". This bench re-checks that claim on the
+// synthetic stand-ins and reports the cost gap between refinement and the
+// full automorphism search.
+
+#include <cstdio>
+
+#include "aut/refinement.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader("Ablation C: TDV(G) vs Orb(G)");
+  std::printf("%-11s %10s %10s %12s %12s %8s\n", "Network", "TDV cells",
+              "Orb cells", "TDV ms", "Orb ms", "equal?");
+  bench::PrintRule();
+  for (Dataset& dataset : MakeAllDatasets()) {
+    Timer timer;
+    const VertexPartition tdv = ComputeTotalDegreePartition(dataset.graph);
+    const double tdv_ms = timer.ElapsedMillis();
+    timer.Reset();
+    const VertexPartition orb = ComputeAutomorphismPartition(dataset.graph);
+    const double orb_ms = timer.ElapsedMillis();
+    std::printf("%-11s %10zu %10zu %12.2f %12.2f %8s\n", dataset.name.c_str(),
+                tdv.NumCells(), orb.NumCells(), tdv_ms, orb_ms,
+                tdv == orb ? "yes" : "NO");
+  }
+  std::printf(
+      "\nExpected shape (Section 7): TDV(G) = Orb(G) on all three networks,\n"
+      "with TDV orders of magnitude cheaper — justifying it as the\n"
+      "practical substitute on large graphs.\n");
+  return 0;
+}

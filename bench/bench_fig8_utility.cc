@@ -1,0 +1,184 @@
+// Figure 8: utility preservation of backbone-based sampling.
+//
+// For each network: anonymize at k = 5, draw 20 samples with the
+// approximate backbone-based sampler (Algorithm 4), and compare the four
+// utility distributions of Section 4.3 — degree, sampled shortest path
+// lengths, transitivity (clustering coefficients) and resilience — between
+// the original graph and the sample average.
+//
+// Paper shape to reproduce: the sampled curves track the originals closely
+// on all four properties for all three networks.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/algorithms.h"
+#include "ksym/sampling.h"
+#include "stats/distributions.h"
+#include "stats/ks.h"
+#include "stats/resilience.h"
+
+namespace {
+
+using namespace ksym;
+
+constexpr int kNumSamples = 20;
+constexpr uint32_t kK = 5;
+constexpr size_t kPathPairs = 500;
+
+// Mean histogram across samples, normalized to frequencies.
+std::vector<double> MeanNormalizedHistogram(
+    const std::vector<std::vector<size_t>>& histograms) {
+  size_t width = 0;
+  for (const auto& h : histograms) width = std::max(width, h.size());
+  std::vector<double> mean(width, 0.0);
+  for (const auto& h : histograms) {
+    double total = 0;
+    for (size_t c : h) total += static_cast<double>(c);
+    if (total == 0) continue;
+    for (size_t i = 0; i < h.size(); ++i) {
+      mean[i] += static_cast<double>(h[i]) / total;
+    }
+  }
+  for (double& x : mean) x /= static_cast<double>(histograms.size());
+  return mean;
+}
+
+std::vector<double> NormalizedHistogram(const std::vector<size_t>& h) {
+  double total = 0;
+  for (size_t c : h) total += static_cast<double>(c);
+  std::vector<double> out(h.size(), 0.0);
+  if (total == 0) return out;
+  for (size_t i = 0; i < h.size(); ++i) {
+    out[i] = static_cast<double>(h[i]) / total;
+  }
+  return out;
+}
+
+void PrintPairedSeries(const char* label, const std::vector<double>& original,
+                       const std::vector<double>& sampled, size_t max_bins) {
+  const size_t width = std::max(original.size(), sampled.size());
+  const size_t bins = std::min(width, max_bins);
+  std::printf("  %-14s bin:      ", label);
+  for (size_t i = 0; i < bins; ++i) std::printf(" %6zu", i);
+  std::printf("\n  %-14s original: ", "");
+  for (size_t i = 0; i < bins; ++i) {
+    std::printf(" %6.3f", i < original.size() ? original[i] : 0.0);
+  }
+  std::printf("\n  %-14s sampled:  ", "");
+  for (size_t i = 0; i < bins; ++i) {
+    std::printf(" %6.3f", i < sampled.size() ? sampled[i] : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader("Figure 8: utility of sampled graphs (k = 5, 20 samples)");
+  Rng rng(20100322);
+
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    const AnonymizationResult release = bench::Release(dataset, kK);
+    std::printf("\n--- %s: |V(G)|=%zu -> |V(G')|=%zu (+%zu vertices, +%zu edges)\n",
+                dataset.name.c_str(), dataset.graph.NumVertices(),
+                release.graph.NumVertices(), release.vertices_added,
+                release.edges_added);
+
+    std::vector<Graph> samples;
+    for (int i = 0; i < kNumSamples; ++i) {
+      auto sample = ApproximateBackboneSample(
+          release.graph, release.partition, release.original_vertices, rng);
+      KSYM_CHECK(sample.ok());
+      samples.push_back(std::move(sample).value());
+    }
+
+    // Degree distribution.
+    {
+      std::vector<std::vector<size_t>> hists;
+      for (const Graph& s : samples) hists.push_back(Histogram(DegreeValues(s)));
+      PrintPairedSeries("degree", NormalizedHistogram(Histogram(DegreeValues(dataset.graph))),
+                        MeanNormalizedHistogram(hists), 12);
+    }
+    // Shortest path lengths.
+    {
+      std::vector<std::vector<size_t>> hists;
+      for (const Graph& s : samples) {
+        hists.push_back(Histogram(SampledPathLengths(s, kPathPairs, rng)));
+      }
+      PrintPairedSeries(
+          "path length",
+          NormalizedHistogram(Histogram(SampledPathLengths(dataset.graph, kPathPairs, rng))),
+          MeanNormalizedHistogram(hists), 12);
+    }
+    // Transitivity (10 bins over [0, 1]).
+    {
+      std::vector<std::vector<size_t>> hists;
+      for (const Graph& s : samples) {
+        hists.push_back(BinnedHistogram(ClusteringValues(s), 0, 1, 10));
+      }
+      PrintPairedSeries(
+          "transitivity",
+          NormalizedHistogram(BinnedHistogram(ClusteringValues(dataset.graph), 0, 1, 10)),
+          MeanNormalizedHistogram(hists), 10);
+    }
+    // Resilience: LCC fraction at matching removal fractions.
+    {
+      const auto original = ResilienceCurve(dataset.graph, 7, 0.6);
+      std::vector<double> original_y;
+      for (const auto& [x, y] : original) original_y.push_back(y);
+      std::vector<double> mean_y(original.size(), 0.0);
+      for (const Graph& s : samples) {
+        const auto curve = ResilienceCurve(s, 7, 0.6);
+        for (size_t i = 0; i < curve.size(); ++i) mean_y[i] += curve[i].second;
+      }
+      for (double& y : mean_y) y /= kNumSamples;
+      std::printf("  %-14s fraction removed: 0.0 .. 0.6 in 7 steps\n",
+                  "resilience");
+      bench::PrintSeries("    original LCC fraction", original_y);
+      bench::PrintSeries("    sampled  LCC fraction", mean_y);
+    }
+    // Scalar summary: K-S distances.
+    {
+      double ks_deg = 0;
+      double ks_cc = 0;
+      for (const Graph& s : samples) {
+        ks_deg += KolmogorovSmirnovStatistic(DegreeValues(dataset.graph),
+                                             DegreeValues(s));
+        ks_cc += KolmogorovSmirnovStatistic(ClusteringValues(dataset.graph),
+                                            ClusteringValues(s));
+      }
+      std::printf("  mean K-S: degree %.3f, transitivity %.3f\n",
+                  ks_deg / kNumSamples, ks_cc / kNumSamples);
+    }
+  }
+  // The paper: "All above experiments are also carried out for k = 10,
+  // which gives similar results" — the compact check.
+  std::printf("\nk = 10 summary (mean K-S over %d samples):\n", kNumSamples);
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    const AnonymizationResult release = bench::Release(dataset, 10);
+    double ks_deg = 0;
+    double ks_cc = 0;
+    for (int i = 0; i < kNumSamples; ++i) {
+      const auto sample = ApproximateBackboneSample(
+          release.graph, release.partition, release.original_vertices, rng);
+      KSYM_CHECK(sample.ok());
+      ks_deg += KolmogorovSmirnovStatistic(DegreeValues(dataset.graph),
+                                           DegreeValues(*sample));
+      ks_cc += KolmogorovSmirnovStatistic(ClusteringValues(dataset.graph),
+                                          ClusteringValues(*sample));
+    }
+    std::printf("  %-11s degree %.3f, transitivity %.3f\n",
+                dataset.name.c_str(), ks_deg / kNumSamples,
+                ks_cc / kNumSamples);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 8): sampled distributions track the\n"
+      "original closely on all four properties for all three networks,\n"
+      "at k = 5 and k = 10 alike.\n");
+  return 0;
+}

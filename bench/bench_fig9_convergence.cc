@@ -1,0 +1,63 @@
+// Figure 9: convergence of utility quality with the number of samples.
+//
+// For k = 5 and k = 10, draws up to 100 samples per network and reports the
+// average K-S statistic between the original and the aggregated samples for
+// the degree and shortest-path-length distributions, at increasing sample
+// counts (1, 5, 10, ..., 100).
+//
+// Paper shape to reproduce: the statistic converges fast — 5-10 samples
+// already reach (near-)steady utility quality.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ksym/sampling.h"
+#include "stats/aggregate.h"
+#include "stats/distributions.h"
+
+int main() {
+  using namespace ksym;
+  bench::PrintHeader(
+      "Figure 9: average K-S statistic vs number of sampled graphs");
+  Rng rng(322);
+  constexpr size_t kMaxSamples = 100;
+  constexpr size_t kPathPairs = 500;
+
+  for (const auto& dataset : bench::PrepareAllDatasets()) {
+    for (uint32_t k : {5u, 10u}) {
+      const AnonymizationResult release = bench::Release(dataset, k);
+      std::vector<Graph> samples;
+      for (size_t i = 0; i < kMaxSamples; ++i) {
+        auto sample = ApproximateBackboneSample(
+            release.graph, release.partition, release.original_vertices, rng);
+        KSYM_CHECK(sample.ok());
+        samples.push_back(std::move(sample).value());
+      }
+
+      Rng path_rng(777);
+      auto path_values = [&path_rng](const Graph& g) {
+        return SampledPathLengths(g, kPathPairs, path_rng);
+      };
+
+      std::printf("\n%s, k=%u (samples 1,9,17,...):\n", dataset.name.c_str(),
+                  k);
+      bench::PrintSeries("  degree (pooled K-S)",
+                         PooledKsConvergence(dataset.graph, samples,
+                                             DegreeValues));
+      bench::PrintSeries("  degree (mean K-S)",
+                         MeanKsConvergence(dataset.graph, samples,
+                                           DegreeValues));
+      bench::PrintSeries("  path length (pooled K-S)",
+                         PooledKsConvergence(dataset.graph, samples,
+                                             path_values));
+      bench::PrintSeries("  path length (mean K-S)",
+                         MeanKsConvergence(dataset.graph, samples,
+                                           path_values));
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 9): every series flattens quickly; 5-10\n"
+      "samples already sit near the steady-state value.\n");
+  return 0;
+}

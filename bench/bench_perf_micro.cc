@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) for the core primitives: equitable
+// refinement, automorphism search, orbit copying / anonymization, backbone
+// detection, and the two samplers. Complements the figure benches, which
+// measure end-to-end shapes rather than throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "aut/orbits.h"
+#include "aut/refinement.h"
+#include "common/rng.h"
+#include "datasets/datasets.h"
+#include "graph/generators.h"
+#include "ksym/anonymizer.h"
+#include "ksym/backbone.h"
+#include "ksym/sampling.h"
+
+namespace ksym {
+namespace {
+
+const Graph& EnronGraph() {
+  static const Graph* graph = new Graph(MakeEnronLike());
+  return *graph;
+}
+
+const Graph& HepthGraph() {
+  static const Graph* graph = new Graph(MakeHepthLike());
+  return *graph;
+}
+
+const VertexPartition& HepthOrbits() {
+  static const VertexPartition* orbits =
+      new VertexPartition(ComputeAutomorphismPartition(HepthGraph()));
+  return *orbits;
+}
+
+void BM_EquitableRefinement(benchmark::State& state) {
+  const Graph& graph = HepthGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EquitablePartition(graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+}
+BENCHMARK(BM_EquitableRefinement);
+
+void BM_AutomorphismSearchEnron(benchmark::State& state) {
+  const Graph& graph = EnronGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
+  }
+}
+BENCHMARK(BM_AutomorphismSearchEnron);
+
+void BM_AutomorphismSearchHepth(benchmark::State& state) {
+  const Graph& graph = HepthGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
+  }
+}
+BENCHMARK(BM_AutomorphismSearchHepth);
+
+void BM_AutomorphismSearchRandom(benchmark::State& state) {
+  Rng rng(1);
+  const Graph graph =
+      ErdosRenyiGnm(state.range(0), 2 * state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
+  }
+}
+BENCHMARK(BM_AutomorphismSearchRandom)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AnonymizeHepth(benchmark::State& state) {
+  const Graph& graph = HepthGraph();
+  const VertexPartition& orbits = HepthOrbits();
+  AnonymizationOptions options;
+  options.k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = AnonymizeWithPartition(graph, orbits, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AnonymizeHepth)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_BackboneDetectionHepth(benchmark::State& state) {
+  AnonymizationOptions options;
+  options.k = 5;
+  auto release = AnonymizeWithPartition(HepthGraph(), HepthOrbits(), options);
+  KSYM_CHECK(release.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBackbone(release->graph,
+                                             release->partition));
+  }
+}
+BENCHMARK(BM_BackboneDetectionHepth);
+
+void BM_ApproxSampleHepth(benchmark::State& state) {
+  AnonymizationOptions options;
+  options.k = 5;
+  auto release = AnonymizeWithPartition(HepthGraph(), HepthOrbits(), options);
+  KSYM_CHECK(release.ok());
+  Rng rng(7);
+  for (auto _ : state) {
+    auto sample = ApproximateBackboneSample(
+        release->graph, release->partition, release->original_vertices, rng);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_ApproxSampleHepth);
+
+void BM_ExactSampleHepth(benchmark::State& state) {
+  AnonymizationOptions options;
+  options.k = 5;
+  auto release = AnonymizeWithPartition(HepthGraph(), HepthOrbits(), options);
+  KSYM_CHECK(release.ok());
+  Rng rng(7);
+  for (auto _ : state) {
+    auto sample = ExactBackboneSample(release->graph, release->partition,
+                                      release->original_vertices, rng);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_ExactSampleHepth);
+
+}  // namespace
+}  // namespace ksym
+
+BENCHMARK_MAIN();

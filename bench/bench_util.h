@@ -1,0 +1,90 @@
+// Shared helpers for the reproduction benches: dataset loading with cached
+// orbit partitions, release preparation, and table printing.
+//
+// Every bench prints the paper's expected shape next to the measured
+// numbers so EXPERIMENTS.md can be cross-checked directly from the output.
+
+#ifndef KSYM_BENCH_BENCH_UTIL_H_
+#define KSYM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aut/orbits.h"
+#include "common/timer.h"
+#include "datasets/datasets.h"
+#include "graph/graph.h"
+#include "ksym/anonymizer.h"
+
+namespace ksym::bench {
+
+/// A dataset stand-in plus its exact automorphism partition.
+struct PreparedDataset {
+  std::string name;
+  Graph graph;
+  DegreeStats paper_stats;
+  VertexPartition orbits;
+  double orbit_millis = 0.0;
+};
+
+inline PreparedDataset Prepare(Dataset dataset) {
+  PreparedDataset out;
+  out.name = std::move(dataset.name);
+  out.graph = std::move(dataset.graph);
+  out.paper_stats = dataset.paper_stats;
+  Timer timer;
+  out.orbits = ComputeAutomorphismPartition(out.graph);
+  out.orbit_millis = timer.ElapsedMillis();
+  return out;
+}
+
+inline std::vector<PreparedDataset> PrepareAllDatasets() {
+  std::vector<PreparedDataset> out;
+  for (Dataset& dataset : MakeAllDatasets()) {
+    out.push_back(Prepare(std::move(dataset)));
+  }
+  return out;
+}
+
+/// Anonymizes with the dataset's cached orbit partition.
+inline AnonymizationResult Release(const PreparedDataset& dataset,
+                                   uint32_t k,
+                                   size_t hub_degree_threshold =
+                                       static_cast<size_t>(-1)) {
+  AnonymizationOptions options;
+  options.k = k;
+  if (hub_degree_threshold != static_cast<size_t>(-1)) {
+    options.requirement = HubExclusionRequirement(k, hub_degree_threshold);
+  }
+  auto result = AnonymizeWithPartition(dataset.graph, dataset.orbits, options);
+  KSYM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void PrintRule() {
+  std::printf("-----------------------------------------------------------\n");
+}
+
+/// Renders a numeric series as a compact one-line sparkline-ish list.
+inline void PrintSeries(const char* label, const std::vector<double>& values,
+                        size_t max_items = 12) {
+  std::printf("%-28s", label);
+  const size_t step =
+      values.size() <= max_items ? 1 : values.size() / max_items;
+  for (size_t i = 0; i < values.size(); i += step) {
+    std::printf(" %6.3f", values[i]);
+  }
+  if (!values.empty() && (values.size() - 1) % step != 0) {
+    std::printf(" %6.3f", values.back());
+  }
+  std::printf("\n");
+}
+
+}  // namespace ksym::bench
+
+#endif  // KSYM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,94 @@
+// Attack simulation: an adversary with escalating background knowledge
+// tries to re-identify specific targets in (a) a naively-anonymized release
+// and (b) a k-symmetric release of the same network.
+//
+// For each target the adversary computes the candidate set — all vertices
+// consistent with their knowledge — and succeeds when it is a singleton.
+// Under k-symmetry every candidate set provably has >= k members.
+//
+//   ./attack_simulation [k] [num_targets]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/measures.h"
+#include "baseline/naive.h"
+#include "datasets/datasets.h"
+#include "ksym/anonymizer.h"
+
+int main(int argc, char** argv) {
+  using namespace ksym;
+  const uint32_t k = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 5;
+  const size_t num_targets =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 8;
+
+  const Graph original = MakeEnronLike();
+  Rng rng(1234);
+
+  // Naive release: identities replaced by random integers; the structure is
+  // intact, so structural knowledge carries over verbatim.
+  const NaiveAnonymization naive = NaiveAnonymize(original, rng);
+
+  // k-symmetric release.
+  AnonymizationOptions options;
+  options.k = k;
+  const auto protected_release = Anonymize(original, options);
+  if (!protected_release.ok()) {
+    std::fprintf(stderr, "anonymization failed\n");
+    return 1;
+  }
+
+  const StructuralMeasure measures[] = {DegreeMeasure(), TriangleMeasure(),
+                                        CombinedMeasure()};
+
+  // Precompute the measure partitions of both releases.
+  VertexPartition naive_parts[3];
+  VertexPartition ksym_parts[3];
+  for (int i = 0; i < 3; ++i) {
+    naive_parts[i] = PartitionByMeasure(naive.graph, measures[i]);
+    ksym_parts[i] = PartitionByMeasure(protected_release->graph, measures[i]);
+  }
+
+  std::printf("Network: %zu vertices; releases: naive vs %u-symmetric "
+              "(+%zu vertices, +%zu edges)\n\n",
+              original.NumVertices(), k, protected_release->vertices_added,
+              protected_release->edges_added);
+  std::printf("Candidate-set size per target (1 = re-identified):\n");
+  std::printf("%-8s %-9s | %-24s | %-24s\n", "", "", "naive release",
+              "k-symmetric release");
+  std::printf("%-8s %-9s | %7s %7s %8s | %7s %7s %8s\n", "target", "degree",
+              "deg", "tri", "combined", "deg", "tri", "combined");
+
+  size_t naive_hits = 0;
+  size_t ksym_hits = 0;
+  for (size_t t = 0; t < num_targets; ++t) {
+    // The adversary targets a random individual; in the naive release the
+    // target's vertex is pseudonym[v], structurally identical to v.
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(original.NumVertices()));
+    const VertexId naive_v = naive.pseudonym[v];
+    size_t naive_sizes[3];
+    size_t ksym_sizes[3];
+    for (int i = 0; i < 3; ++i) {
+      naive_sizes[i] = naive_parts[i].CellSizeOf(naive_v);
+      // In the k-symmetric release original ids are preserved.
+      ksym_sizes[i] = ksym_parts[i].CellSizeOf(v);
+    }
+    naive_hits += naive_sizes[2] == 1;
+    ksym_hits += ksym_sizes[2] == 1;
+    std::printf("v%-7u %-9zu | %7zu %7zu %8zu | %7zu %7zu %8zu\n", v,
+                original.Degree(v), naive_sizes[0], naive_sizes[1],
+                naive_sizes[2], ksym_sizes[0], ksym_sizes[1], ksym_sizes[2]);
+  }
+
+  std::printf(
+      "\nCombined-knowledge re-identification: naive %zu/%zu targets, "
+      "k-symmetric %zu/%zu targets.\n",
+      naive_hits, num_targets, ksym_hits, num_targets);
+  std::printf(
+      "Every candidate set in the k-symmetric release has >= %u members —\n"
+      "by Theorem 2 this holds for *any* structural knowledge, not just\n"
+      "the measures simulated here.\n",
+      k);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Privacy audit: measure how exposed a network's individuals are to
+// structural re-identification before any protection is applied.
+//
+// Loads an edge list (or generates the Enron-like demo network) and
+// reports, for a ladder of adversary knowledge levels — degree, triangle
+// count, neighbour degree sequence, combined — how many vertices each
+// measure pins down uniquely, plus the theoretical exposure limit given by
+// the automorphism partition.
+//
+//   ./privacy_audit [edge_list_file]
+
+#include <cstdio>
+#include <string>
+
+#include "attack/measures.h"
+#include "attack/reidentification.h"
+#include "aut/orbits.h"
+#include "datasets/datasets.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+
+int main(int argc, char** argv) {
+  using namespace ksym;
+
+  Graph graph;
+  std::string source;
+  if (argc > 1) {
+    auto loaded = ReadEdgeListFile(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(loaded->graph);
+    source = argv[1];
+  } else {
+    graph = MakeEnronLike();
+    source = "builtin Enron-like demo network";
+  }
+
+  const DegreeStats stats = ComputeDegreeStats(graph);
+  std::printf("Auditing %s\n", source.c_str());
+  std::printf("  %zu vertices, %zu edges, degree %zu..%zu (avg %.2f)\n\n",
+              stats.num_vertices, stats.num_edges, stats.min_degree,
+              stats.max_degree, stats.average_degree);
+
+  const VertexPartition orbits = ComputeAutomorphismPartition(graph);
+  std::printf("Theoretical exposure limit (automorphism partition):\n");
+  std::printf("  %zu of %zu vertices (%.1f%%) are uniquely identifiable by\n"
+              "  *some* structural knowledge; no knowledge can do better.\n\n",
+              orbits.NumSingletons(), graph.NumVertices(),
+              100.0 * static_cast<double>(orbits.NumSingletons()) /
+                  static_cast<double>(graph.NumVertices()));
+
+  std::printf("%-22s %10s %10s %8s %8s\n", "adversary knows", "unique",
+              "at-risk<5", "r_f", "s_f");
+  for (const StructuralMeasure& measure :
+       {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
+        NeighborhoodMeasure(), CombinedMeasure()}) {
+    const VertexPartition partition = PartitionByMeasure(graph, measure);
+    size_t at_risk = 0;
+    for (const auto& cell : partition.cells) {
+      if (cell.size() < 5) at_risk += cell.size();
+    }
+    const ReidentificationStats r = CompareToOrbits(partition, orbits);
+    std::printf("%-22s %10zu %10zu %8.3f %8.3f\n", measure.name.c_str(),
+                r.measure_singletons, at_risk, r.r_f, r.s_f);
+  }
+
+  // Show the single most exposed high-degree vertex as a concrete case.
+  VertexId hub = 0;
+  for (VertexId v = 1; v < graph.NumVertices(); ++v) {
+    if (graph.Degree(v) > graph.Degree(hub)) hub = v;
+  }
+  const auto candidates = CandidateSet(graph, CombinedMeasure(), hub);
+  std::printf(
+      "\nExample: the highest-degree vertex (id %u, degree %zu) has a\n"
+      "combined-knowledge candidate set of size %zu%s\n",
+      hub, graph.Degree(hub), candidates.size(),
+      candidates.size() == 1 ? " - it is fully re-identifiable." : ".");
+
+  std::printf(
+      "\nA release that resists every row above at level k needs the\n"
+      "k-symmetry model: see quickstart and publish_pipeline.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: anonymize a small social network with the k-symmetry model.
+//
+// Reproduces the paper's running example (Figure 3 / Figure 5): builds the
+// 8-vertex graph, inspects its automorphism partition, anonymizes at k = 2
+// and k = 3, and verifies the result resists *any* structural
+// re-identification at level k.
+//
+//   ./quickstart
+
+#include <cstdio>
+
+#include "aut/orbits.h"
+#include "graph/graph.h"
+#include "ksym/anonymizer.h"
+#include "ksym/verifier.h"
+
+int main() {
+  using namespace ksym;
+
+  // The paper's Figure 3(a) graph (1-indexed v1..v8 -> 0-indexed).
+  GraphBuilder builder(8);
+  builder.AddEdge(0, 2);  // v1-v3
+  builder.AddEdge(1, 2);  // v2-v3
+  builder.AddEdge(2, 3);  // v3-v4
+  builder.AddEdge(2, 4);  // v3-v5
+  builder.AddEdge(3, 4);  // v4-v5
+  builder.AddEdge(3, 5);  // v4-v6
+  builder.AddEdge(4, 6);  // v5-v7
+  builder.AddEdge(5, 7);  // v6-v8
+  builder.AddEdge(6, 7);  // v7-v8
+  const Graph graph = builder.Build();
+  std::printf("Original graph: %zu vertices, %zu edges\n",
+              graph.NumVertices(), graph.NumEdges());
+
+  // Step 1: the automorphism partition Orb(G). |Orb(v)| bounds the power of
+  // every structural attack against v; singleton orbits are fully exposed.
+  const VertexPartition orbits = ComputeAutomorphismPartition(graph);
+  std::printf("\nAutomorphism partition (%zu orbits):\n", orbits.NumCells());
+  for (const auto& orbit : orbits.cells) {
+    std::printf("  {");
+    for (size_t i = 0; i < orbit.size(); ++i) {
+      std::printf("%sv%u", i ? ", " : "", orbit[i] + 1);
+    }
+    std::printf("}%s\n", orbit.size() == 1 ? "   <- uniquely identifiable" : "");
+  }
+
+  // Step 2: anonymize. Every orbit is copied until it has >= k members.
+  for (uint32_t k : {2u, 3u}) {
+    AnonymizationOptions options;
+    options.k = k;
+    const auto release = Anonymize(graph, options);
+    if (!release.ok()) {
+      std::printf("anonymization failed: %s\n",
+                  release.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nk = %u: released graph has %zu vertices (+%zu), %zu edges (+%zu), "
+        "%zu copy operations\n",
+        k, release->graph.NumVertices(), release->vertices_added,
+        release->graph.NumEdges(), release->edges_added,
+        release->copy_operations);
+
+    // Step 3: verify from scratch — recompute the orbits of the release and
+    // check every vertex has >= k structurally equivalent counterparts.
+    std::printf("  minimum orbit size: %zu (k-symmetric: %s)\n",
+                MinimumOrbitSize(release->graph),
+                IsKSymmetric(release->graph, k) ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nThe release triple (G', V', |V(G)|) is what a publisher shares;\n"
+      "see publish_pipeline for the analyst's side of the workflow.\n");
+  return 0;
+}

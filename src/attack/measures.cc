@@ -1,0 +1,142 @@
+#include "attack/measures.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "aut/canonical.h"
+#include "aut/refinement.h"
+#include "graph/algorithms.h"
+
+namespace ksym {
+namespace {
+
+// Interns arbitrary comparable keys into dense labels.
+template <typename Key>
+std::vector<uint32_t> InternLabels(std::vector<Key> keys) {
+  std::map<Key, uint32_t> table;
+  std::vector<uint32_t> labels(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto [it, inserted] =
+        table.emplace(std::move(keys[i]), static_cast<uint32_t>(table.size()));
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+std::vector<std::vector<uint32_t>> NeighborDegreeSequences(
+    const Graph& graph) {
+  std::vector<std::vector<uint32_t>> sequences(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto& seq = sequences[v];
+    seq.reserve(graph.Degree(v));
+    for (VertexId u : graph.Neighbors(v)) {
+      seq.push_back(static_cast<uint32_t>(graph.Degree(u)));
+    }
+    std::sort(seq.begin(), seq.end());
+  }
+  return sequences;
+}
+
+}  // namespace
+
+StructuralMeasure DegreeMeasure() {
+  return {"degree", [](const Graph& graph) {
+            std::vector<uint32_t> keys(graph.NumVertices());
+            for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+              keys[v] = static_cast<uint32_t>(graph.Degree(v));
+            }
+            return InternLabels(std::move(keys));
+          }};
+}
+
+StructuralMeasure TriangleMeasure() {
+  return {"triangle", [](const Graph& graph) {
+            return InternLabels(TriangleCounts(graph));
+          }};
+}
+
+StructuralMeasure NeighborDegreeSequenceMeasure() {
+  return {"neighbor-degrees", [](const Graph& graph) {
+            return InternLabels(NeighborDegreeSequences(graph));
+          }};
+}
+
+StructuralMeasure CombinedMeasure() {
+  return {"combined", [](const Graph& graph) {
+            const std::vector<uint64_t> tri = TriangleCounts(graph);
+            std::vector<std::pair<std::vector<uint32_t>, uint64_t>> keys;
+            keys.reserve(graph.NumVertices());
+            auto sequences = NeighborDegreeSequences(graph);
+            for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+              keys.emplace_back(std::move(sequences[v]), tri[v]);
+            }
+            return InternLabels(std::move(keys));
+          }};
+}
+
+StructuralMeasure NeighborhoodMeasure() {
+  return {"neighborhood", [](const Graph& graph) {
+            // Keys are flat uint64 streams so small (exact canonical form)
+            // and large (refinement trace) ego networks intern uniformly.
+            // Hub ego nets with thousands of vertices would make full
+            // canonical labelling needlessly expensive; the coloured
+            // refinement trace is isomorphism-invariant, so a collision can
+            // only *merge* classes — a conservative (weaker) adversary,
+            // never an inconsistent one.
+            constexpr size_t kExactLimit = 64;
+            std::vector<std::vector<uint64_t>> keys;
+            keys.reserve(graph.NumVertices());
+            for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+              std::vector<VertexId> ego = {v};
+              const auto neighbors = graph.Neighbors(v);
+              ego.insert(ego.end(), neighbors.begin(), neighbors.end());
+              const Graph subgraph = InducedSubgraph(graph, ego);
+              // Mark the centre (index 0 of `ego`) so the class is rooted.
+              std::vector<uint32_t> colors(ego.size(), 0);
+              colors[0] = 1;
+
+              std::vector<uint64_t> key;
+              key.push_back(ego.size());
+              key.push_back(subgraph.NumEdges());
+              if (ego.size() <= kExactLimit) {
+                const CanonicalForm form =
+                    ComputeCanonicalForm(subgraph, colors);
+                for (const auto& [a, b] : form.edges) {
+                  key.push_back((uint64_t{a} << 32) | b);
+                }
+                for (uint32_t c : form.colors) key.push_back(0x100000000ull | c);
+              } else {
+                OrderedPartition partition(ego.size(), colors);
+                Refiner refiner(subgraph);
+                key.push_back(refiner.RefineAll(partition));
+                key.push_back(partition.NumCells());
+              }
+              keys.push_back(std::move(key));
+            }
+            return InternLabels(std::move(keys));
+          }};
+}
+
+VertexPartition PartitionByMeasure(const Graph& graph,
+                                   const StructuralMeasure& measure) {
+  const std::vector<uint32_t> labels = measure.eval(graph);
+  KSYM_CHECK(labels.size() == graph.NumVertices());
+  // Convert labels to representatives (minimum vertex with the label).
+  std::vector<VertexId> rep_of_label(labels.size(), kInvalidVertex);
+  std::vector<VertexId> rep(labels.size());
+  for (VertexId v = 0; v < labels.size(); ++v) {
+    if (rep_of_label[labels[v]] == kInvalidVertex) rep_of_label[labels[v]] = v;
+    rep[v] = rep_of_label[labels[v]];
+  }
+  return VertexPartition::FromRepresentatives(rep);
+}
+
+std::vector<VertexId> CandidateSet(const Graph& graph,
+                                   const StructuralMeasure& measure,
+                                   VertexId v) {
+  const VertexPartition partition = PartitionByMeasure(graph, measure);
+  return partition.cells[partition.cell_of[v]];
+}
+
+}  // namespace ksym

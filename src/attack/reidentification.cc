@@ -1,0 +1,53 @@
+#include "attack/reidentification.h"
+
+namespace ksym {
+namespace {
+
+double PairSum(const VertexPartition& partition) {
+  double sum = 0.0;
+  for (const auto& cell : partition.cells) {
+    const double size = static_cast<double>(cell.size());
+    sum += size * (size - 1.0);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ReidentificationStats CompareToOrbits(const VertexPartition& measure_partition,
+                                      const VertexPartition& orbits) {
+  ReidentificationStats stats;
+  stats.measure_singletons = measure_partition.NumSingletons();
+  stats.orbit_singletons = orbits.NumSingletons();
+  stats.measure_cells = measure_partition.NumCells();
+  stats.orbit_cells = orbits.NumCells();
+
+  if (stats.orbit_singletons == 0) {
+    // No vertex is uniquely identifiable even in the limit. The measure,
+    // being coarser, has no singletons either, so it trivially attains the
+    // (vacuous) upper bound.
+    stats.r_f = 1.0;
+  } else {
+    stats.r_f = static_cast<double>(stats.measure_singletons) /
+                static_cast<double>(stats.orbit_singletons);
+  }
+
+  const double orbit_pairs = PairSum(orbits);
+  const double measure_pairs = PairSum(measure_partition);
+  if (measure_pairs == 0.0) {
+    // Measure partition is discrete; orbits must be too (coarser), so the
+    // partitions coincide.
+    stats.s_f = 1.0;
+  } else {
+    stats.s_f = orbit_pairs / measure_pairs;
+  }
+  return stats;
+}
+
+ReidentificationStats EvaluateMeasure(const Graph& graph,
+                                      const StructuralMeasure& measure,
+                                      const VertexPartition& orbits) {
+  return CompareToOrbits(PartitionByMeasure(graph, measure), orbits);
+}
+
+}  // namespace ksym

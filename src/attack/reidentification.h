@@ -1,0 +1,48 @@
+// Re-identification power statistics r_f and s_f — Section 2.2, Figure 2.
+//
+// For a measure-induced partition V_f and the automorphism partition
+// Orb(G):
+//   r_f = (# singleton cells of V_f) / (# singleton orbits of Orb(G))
+//         — the measure's power to *uniquely* re-identify targets, relative
+//           to the upper bound any structural knowledge can reach;
+//   s_f = sum_orbits |D|(|D|-1) / sum_cells |V|(|V|-1)
+//         — similarity between V_f and Orb(G) (1 when they coincide).
+//
+// Since V_f is coarser than Orb(G), both statistics lie in [0, 1].
+
+#ifndef KSYM_ATTACK_REIDENTIFICATION_H_
+#define KSYM_ATTACK_REIDENTIFICATION_H_
+
+#include <cstddef>
+
+#include "attack/measures.h"
+#include "aut/orbits.h"
+
+namespace ksym {
+
+struct ReidentificationStats {
+  double r_f = 0.0;
+  double s_f = 0.0;
+  size_t measure_singletons = 0;
+  size_t orbit_singletons = 0;
+  size_t measure_cells = 0;
+  size_t orbit_cells = 0;
+};
+
+/// Computes r_f and s_f for a measure partition against the orbit
+/// partition. Degenerate denominators (no singleton orbits; a discrete
+/// measure partition on a rigid graph) resolve to the natural limits: both
+/// statistics are 1 when the partitions coincide, 0 when the measure has no
+/// power and the orbits do.
+ReidentificationStats CompareToOrbits(const VertexPartition& measure_partition,
+                                      const VertexPartition& orbits);
+
+/// Convenience: evaluates `measure` on `graph` and compares against a
+/// precomputed orbit partition.
+ReidentificationStats EvaluateMeasure(const Graph& graph,
+                                      const StructuralMeasure& measure,
+                                      const VertexPartition& orbits);
+
+}  // namespace ksym
+
+#endif  // KSYM_ATTACK_REIDENTIFICATION_H_

@@ -1,0 +1,222 @@
+#include "aut/canonical.h"
+
+#include <algorithm>
+
+#include "aut/refinement.h"
+#include "perm/union_find.h"
+
+namespace ksym {
+namespace {
+
+std::vector<std::pair<VertexId, VertexId>> RelabeledEdges(
+    const Graph& graph, const Permutation& lab) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(graph.NumEdges());
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const VertexId lu = lab.Image(u);
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) {
+        const VertexId lv = lab.Image(v);
+        edges.emplace_back(std::min(lu, lv), std::max(lu, lv));
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+// Explores the full individualization-refinement tree keeping the leaf with
+// the lexicographically greatest (invariant trace, relabelled edge list).
+// Automorphisms discovered on the way (leaves equal to the first or best
+// leaf) drive sibling orbit pruning.
+class CanonSearcher {
+ public:
+  CanonSearcher(const Graph& graph, const std::vector<uint32_t>& colors)
+      : graph_(graph), n_(graph.NumVertices()), colors_(colors),
+        refiner_(graph) {}
+
+  CanonicalForm Run() {
+    CanonicalForm form;
+    if (n_ == 0) {
+      form.labeling = Permutation::Identity(0);
+      return form;
+    }
+    OrderedPartition root(n_, colors_);
+    refiner_.RefineAll(root);
+    Explore(root, 0);
+    KSYM_CHECK(have_best_);
+    form.labeling = best_labeling_;
+    form.edges = std::move(best_edges_);
+    if (!colors_.empty()) {
+      const Permutation inv = form.labeling.Inverse();
+      form.colors.resize(n_);
+      for (VertexId pos = 0; pos < n_; ++pos) {
+        form.colors[pos] = colors_[inv.Image(pos)];
+      }
+    }
+    return form;
+  }
+
+ private:
+  // Compares the current path trace (length depth+1, last entry `inv`)
+  // against the best leaf's trace at the same position.
+  // Returns -1 / 0 / +1.
+  int CompareToBest(size_t depth, uint64_t inv) const {
+    if (!have_best_) return +1;
+    if (depth >= best_inv_.size()) return +1;  // Longer prefix: explore.
+    if (inv < best_inv_[depth]) return -1;
+    if (inv > best_inv_[depth]) return +1;
+    return 0;
+  }
+
+  void Explore(OrderedPartition& p, size_t depth) {
+    if (p.IsDiscrete()) {
+      HandleLeaf(p, depth);
+      return;
+    }
+    const uint32_t target = p.TargetCell();
+    const auto cell_span = p.CellAt(target);
+    std::vector<VertexId> children(cell_span.begin(), cell_span.end());
+    std::sort(children.begin(), children.end());
+
+    UnionFind local(n_);
+    size_t gens_applied = 0;
+    std::vector<VertexId> tried;
+
+    for (VertexId v : children) {
+      for (; gens_applied < generators_.size(); ++gens_applied) {
+        const Permutation& g = generators_[gens_applied];
+        if (!FixesPrefix(g, depth)) continue;
+        for (VertexId x = 0; x < n_; ++x) local.Union(x, g.Image(x));
+      }
+      bool redundant = false;
+      for (VertexId w : tried) {
+        if (local.Same(v, w)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) continue;
+      tried.push_back(v);
+
+      const size_t mark = p.JournalMark();
+      const uint32_t singleton = p.Individualize(v);
+      const uint64_t inv = refiner_.RefineFrom(p, singleton);
+
+      const bool eq_first = have_first_ && depth < first_inv_.size() &&
+                            inv == first_inv_[depth];
+      const int cmp_best = CompareToBest(depth, inv);
+      // A strictly-worse prefix can never become the canonical leaf; it is
+      // only worth visiting if it can still reproduce the first leaf (and
+      // thus yield an automorphism for pruning).
+      if (cmp_best < 0 && !eq_first) {
+        p.RevertTo(mark);
+        continue;
+      }
+      if (!have_first_) {
+        KSYM_DCHECK(first_inv_.size() == depth);
+        first_inv_.push_back(inv);
+      }
+
+      if (path_.size() <= depth) {
+        path_.resize(depth + 1);
+        path_inv_.resize(depth + 1);
+      }
+      path_[depth] = v;
+      path_inv_[depth] = inv;
+
+      Explore(p, depth + 1);
+      p.RevertTo(mark);
+    }
+  }
+
+  void HandleLeaf(const OrderedPartition& p, size_t depth) {
+    Permutation lab = p.ToLabeling();
+    auto edges = RelabeledEdges(graph_, lab);
+
+    if (!have_first_) {
+      have_first_ = true;
+      first_labeling_ = lab;
+      first_edges_ = edges;
+    } else if (edges == first_edges_ &&
+               TraceEquals(first_inv_, depth)) {
+      AddAutomorphism(lab, first_labeling_);
+    }
+
+    // Canonical bookkeeping: lexicographic max of (trace, edges).
+    const int cmp = CompareTraceToBest(depth, edges);
+    if (cmp > 0) {
+      have_best_ = true;
+      best_inv_.assign(path_inv_.begin(), path_inv_.begin() + depth);
+      best_labeling_ = std::move(lab);
+      best_edges_ = std::move(edges);
+    } else if (cmp == 0) {
+      AddAutomorphism(lab, best_labeling_);
+    }
+  }
+
+  bool TraceEquals(const std::vector<uint64_t>& reference,
+                   size_t depth) const {
+    if (reference.size() != depth) return false;
+    return std::equal(reference.begin(), reference.end(), path_inv_.begin());
+  }
+
+  // Compares (path trace of length depth, edges) against the best leaf.
+  int CompareTraceToBest(
+      size_t depth,
+      const std::vector<std::pair<VertexId, VertexId>>& edges) const {
+    if (!have_best_) return +1;
+    for (size_t i = 0; i < depth && i < best_inv_.size(); ++i) {
+      if (path_inv_[i] < best_inv_[i]) return -1;
+      if (path_inv_[i] > best_inv_[i]) return +1;
+    }
+    if (depth != best_inv_.size()) {
+      return depth < best_inv_.size() ? -1 : +1;
+    }
+    if (edges < best_edges_) return -1;
+    if (edges > best_edges_) return +1;
+    return 0;
+  }
+
+  void AddAutomorphism(const Permutation& lab, const Permutation& ref_lab) {
+    Permutation g = lab.Compose(ref_lab.Inverse());
+    if (!g.IsIdentity()) generators_.push_back(std::move(g));
+  }
+
+  bool FixesPrefix(const Permutation& g, size_t depth) const {
+    for (size_t i = 0; i < depth; ++i) {
+      if (g.Image(path_[i]) != path_[i]) return false;
+    }
+    return true;
+  }
+
+  const Graph& graph_;
+  const VertexId n_;
+  const std::vector<uint32_t>& colors_;
+  Refiner refiner_;
+
+  std::vector<VertexId> path_;
+  std::vector<uint64_t> path_inv_;
+
+  bool have_first_ = false;
+  std::vector<uint64_t> first_inv_;
+  Permutation first_labeling_;
+  std::vector<std::pair<VertexId, VertexId>> first_edges_;
+
+  bool have_best_ = false;
+  std::vector<uint64_t> best_inv_;
+  Permutation best_labeling_;
+  std::vector<std::pair<VertexId, VertexId>> best_edges_;
+
+  std::vector<Permutation> generators_;
+};
+
+}  // namespace
+
+CanonicalForm ComputeCanonicalForm(const Graph& graph,
+                                   const std::vector<uint32_t>& colors) {
+  KSYM_CHECK(colors.empty() || colors.size() == graph.NumVertices());
+  return CanonSearcher(graph, colors).Run();
+}
+
+}  // namespace ksym

@@ -1,0 +1,43 @@
+#include "aut/isomorphism.h"
+
+#include <algorithm>
+
+#include "aut/canonical.h"
+
+namespace ksym {
+namespace {
+
+// Multiset of (color, degree) pairs — a cheap isomorphism invariant.
+std::vector<std::pair<uint32_t, uint32_t>> ColorDegreeProfile(
+    const Graph& graph, const std::vector<uint32_t>& colors) {
+  std::vector<std::pair<uint32_t, uint32_t>> profile;
+  profile.reserve(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const uint32_t color = colors.empty() ? 0 : colors[v];
+    profile.emplace_back(color, static_cast<uint32_t>(graph.Degree(v)));
+  }
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+}  // namespace
+
+bool AreIsomorphic(const Graph& a, const Graph& b,
+                   const std::vector<uint32_t>& colors_a,
+                   const std::vector<uint32_t>& colors_b) {
+  KSYM_CHECK(colors_a.empty() || colors_a.size() == a.NumVertices());
+  KSYM_CHECK(colors_b.empty() || colors_b.size() == b.NumVertices());
+  KSYM_CHECK(colors_a.empty() == colors_b.empty());
+
+  if (a.NumVertices() != b.NumVertices()) return false;
+  if (a.NumEdges() != b.NumEdges()) return false;
+  if (ColorDegreeProfile(a, colors_a) != ColorDegreeProfile(b, colors_b)) {
+    return false;
+  }
+
+  const CanonicalForm ca = ComputeCanonicalForm(a, colors_a);
+  const CanonicalForm cb = ComputeCanonicalForm(b, colors_b);
+  return ca == cb;
+}
+
+}  // namespace ksym

@@ -1,0 +1,29 @@
+// Graph isomorphism testing via canonical forms.
+//
+// Backbone detection (Algorithm 2 of the paper) needs to decide whether one
+// connected component of a cell-induced subgraph is an orbit-copy of
+// another. That reduces to colour-preserving isomorphism, with colours
+// encoding each vertex's neighbourhood outside the cell (the L(V) relation
+// of Section 4.2.2).
+
+#ifndef KSYM_AUT_ISOMORPHISM_H_
+#define KSYM_AUT_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Colour-preserving isomorphism test. Colour values must be consistent
+/// across the two graphs (same value = same colour). Empty colour vectors
+/// mean uncoloured. Runs cheap invariant pre-checks (sizes, degree and
+/// colour profiles) before falling back to canonical forms.
+bool AreIsomorphic(const Graph& a, const Graph& b,
+                   const std::vector<uint32_t>& colors_a = {},
+                   const std::vector<uint32_t>& colors_b = {});
+
+}  // namespace ksym
+
+#endif  // KSYM_AUT_ISOMORPHISM_H_

@@ -1,0 +1,75 @@
+#include "aut/orbits.h"
+
+#include <algorithm>
+#include <map>
+
+#include "aut/refinement.h"
+#include "aut/search.h"
+
+namespace ksym {
+
+size_t VertexPartition::NumSingletons() const {
+  size_t count = 0;
+  for (const auto& cell : cells) {
+    if (cell.size() == 1) ++count;
+  }
+  return count;
+}
+
+VertexPartition VertexPartition::FromRepresentatives(
+    const std::vector<VertexId>& rep) {
+  const size_t n = rep.size();
+  // Group by representative, ordered by the cell's minimum element. Since
+  // representatives produced by the orbit machinery are minima, a map keyed
+  // by representative gives that order directly.
+  std::map<VertexId, std::vector<VertexId>> by_rep;
+  for (VertexId v = 0; v < n; ++v) {
+    by_rep[rep[v]].push_back(v);
+  }
+  VertexPartition partition;
+  partition.cell_of.assign(n, 0);
+  partition.cells.reserve(by_rep.size());
+  for (auto& [key, members] : by_rep) {
+    (void)key;
+    std::sort(members.begin(), members.end());
+    const uint32_t cell_index = static_cast<uint32_t>(partition.cells.size());
+    for (VertexId v : members) partition.cell_of[v] = cell_index;
+    partition.cells.push_back(std::move(members));
+  }
+  return partition;
+}
+
+VertexPartition VertexPartition::FromCells(
+    size_t n, std::vector<std::vector<VertexId>> cells) {
+  for (auto& cell : cells) std::sort(cell.begin(), cell.end());
+  std::sort(cells.begin(), cells.end(),
+            [](const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+              KSYM_DCHECK(!a.empty() && !b.empty());
+              return a.front() < b.front();
+            });
+  VertexPartition partition;
+  partition.cell_of.assign(n, static_cast<uint32_t>(-1));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (VertexId v : cells[i]) {
+      KSYM_CHECK(v < n);
+      KSYM_CHECK(partition.cell_of[v] == static_cast<uint32_t>(-1));
+      partition.cell_of[v] = static_cast<uint32_t>(i);
+    }
+  }
+  for (uint32_t c : partition.cell_of) KSYM_CHECK(c != static_cast<uint32_t>(-1));
+  partition.cells = std::move(cells);
+  return partition;
+}
+
+VertexPartition ComputeAutomorphismPartition(
+    const Graph& graph, const std::vector<uint32_t>& colors) {
+  const AutomorphismResult aut = ComputeAutomorphisms(graph, colors);
+  return VertexPartition::FromRepresentatives(aut.orbit_rep);
+}
+
+VertexPartition ComputeTotalDegreePartition(const Graph& graph) {
+  return VertexPartition::FromCells(graph.NumVertices(),
+                                    EquitablePartition(graph));
+}
+
+}  // namespace ksym

@@ -1,0 +1,261 @@
+#include "aut/refinement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ksym {
+namespace {
+
+inline uint64_t HashMix(uint64_t h, uint64_t value) {
+  h ^= value + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+OrderedPartition::OrderedPartition(size_t n,
+                                   const std::vector<uint32_t>& colors)
+    : elements_(n), position_(n), cell_start_(n), cell_size_(n, 0) {
+  KSYM_CHECK(colors.empty() || colors.size() == n);
+  std::iota(elements_.begin(), elements_.end(), 0u);
+  if (!colors.empty()) {
+    std::sort(elements_.begin(), elements_.end(),
+              [&colors](VertexId a, VertexId b) {
+                return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
+              });
+  }
+  // Carve cells at color boundaries (one cell total if no colors).
+  size_t start = 0;
+  for (size_t i = 0; i <= n; ++i) {
+    const bool boundary =
+        i == n || (!colors.empty() && i > start &&
+                   colors[elements_[i]] != colors[elements_[start]]);
+    if (boundary) {
+      if (i > start) {
+        cell_size_[start] = static_cast<uint32_t>(i - start);
+        for (size_t j = start; j < i; ++j) {
+          position_[elements_[j]] = static_cast<uint32_t>(j);
+          cell_start_[elements_[j]] = static_cast<uint32_t>(start);
+        }
+        ++num_cells_;
+      }
+      start = i;
+    }
+  }
+  if (n == 0) num_cells_ = 0;
+}
+
+uint32_t OrderedPartition::TargetCell() const {
+  uint32_t pos = target_hint_;
+  const uint32_t n = static_cast<uint32_t>(elements_.size());
+  while (pos < n && cell_size_[pos] == 1) ++pos;
+  target_hint_ = pos;
+  return pos < n ? pos : kNoCell;
+}
+
+uint32_t OrderedPartition::Individualize(VertexId v) {
+  const uint32_t start = cell_start_[v];
+  const uint32_t size = cell_size_[start];
+  KSYM_CHECK(size >= 2);
+  // Swap v to the *end* of its cell and carve [start, size-1] | [v]. The
+  // remainder keeps its start id, so only v's bookkeeping changes: O(1),
+  // and so is the revert (journal num_groups == 0 marks this case).
+  const uint32_t tail = start + size - 1;
+  const uint32_t vpos = position_[v];
+  const VertexId other = elements_[tail];
+  elements_[tail] = v;
+  elements_[vpos] = other;
+  position_[v] = tail;
+  position_[other] = vpos;
+  cell_size_[start] = size - 1;
+  cell_size_[tail] = 1;
+  cell_start_[v] = tail;
+  ++num_cells_;
+  journal_.push_back({start, size, 0});
+  return tail;
+}
+
+std::vector<std::vector<VertexId>> OrderedPartition::Cells() const {
+  std::vector<std::vector<VertexId>> cells;
+  cells.reserve(num_cells_);
+  uint32_t pos = 0;
+  const uint32_t n = static_cast<uint32_t>(elements_.size());
+  while (pos < n) {
+    const uint32_t size = cell_size_[pos];
+    cells.emplace_back(elements_.begin() + pos,
+                       elements_.begin() + pos + size);
+    pos += size;
+  }
+  return cells;
+}
+
+Permutation OrderedPartition::ToLabeling() const {
+  KSYM_CHECK(IsDiscrete());
+  std::vector<VertexId> images(position_.begin(), position_.end());
+  return Permutation(std::move(images));
+}
+
+void OrderedPartition::SplitCell(uint32_t start,
+                                 const std::vector<VertexId>& reordered,
+                                 const std::vector<uint32_t>& group_sizes) {
+  KSYM_DCHECK(reordered.size() == cell_size_[start]);
+  uint32_t pos = start;
+  size_t idx = 0;
+  for (uint32_t gsize : group_sizes) {
+    const uint32_t gstart = pos;
+    cell_size_[gstart] = gsize;
+    for (uint32_t i = 0; i < gsize; ++i, ++idx, ++pos) {
+      const VertexId v = reordered[idx];
+      elements_[pos] = v;
+      position_[v] = pos;
+      cell_start_[v] = gstart;
+    }
+  }
+  KSYM_DCHECK(idx == reordered.size());
+  num_cells_ += group_sizes.size() - 1;
+  journal_.push_back({start, static_cast<uint32_t>(reordered.size()),
+                      static_cast<uint32_t>(group_sizes.size())});
+}
+
+void OrderedPartition::RevertTo(size_t mark) {
+  KSYM_CHECK(mark <= journal_.size());
+  while (journal_.size() > mark) {
+    const SplitRecord record = journal_.back();
+    journal_.pop_back();
+    target_hint_ = std::min(target_hint_, record.start);
+    if (record.num_groups == 0) {
+      // Individualize: merge the tail singleton back; nothing else moved.
+      const uint32_t tail = record.start + record.old_size - 1;
+      cell_start_[elements_[tail]] = record.start;
+      cell_size_[record.start] = record.old_size;
+      --num_cells_;
+      continue;
+    }
+    cell_size_[record.start] = record.old_size;
+    for (uint32_t i = record.start; i < record.start + record.old_size; ++i) {
+      cell_start_[elements_[i]] = record.start;
+    }
+    num_cells_ -= record.num_groups - 1;
+  }
+}
+
+Refiner::Refiner(const Graph& graph)
+    : graph_(graph), count_(graph.NumVertices(), 0) {
+  touched_.reserve(graph.NumVertices());
+}
+
+uint64_t Refiner::RefineAll(OrderedPartition& p) {
+  std::vector<uint32_t> worklist;
+  uint32_t pos = 0;
+  const uint32_t n = static_cast<uint32_t>(p.NumVertices());
+  while (pos < n) {
+    worklist.push_back(pos);
+    pos += p.CellSizeAt(pos);
+  }
+  return DoRefine(p, std::move(worklist));
+}
+
+uint64_t Refiner::RefineFrom(OrderedPartition& p, uint32_t seed_start) {
+  return DoRefine(p, {seed_start});
+}
+
+uint64_t Refiner::DoRefine(OrderedPartition& p,
+                           std::vector<uint32_t> worklist) {
+  uint64_t hash = 0x243F6A8885A308D3ull;
+  size_t head = 0;
+  // Scratch buffers live on the Refiner: this runs millions of times per
+  // automorphism search and per-call allocation dominates otherwise.
+  std::vector<VertexId>& splitter = splitter_;
+  std::vector<uint32_t>& affected = affected_;
+  std::vector<std::pair<uint32_t, VertexId>>& keyed = keyed_;
+  std::vector<VertexId>& reordered = reordered_;
+  std::vector<uint32_t>& group_sizes = group_sizes_;
+
+  while (head < worklist.size()) {
+    const uint32_t w_start = worklist[head++];
+    // Snapshot the splitter: the cell currently starting at w_start (a
+    // subset of the cell that was scheduled, which is still a valid
+    // refinement step; any carved-off siblings were scheduled separately).
+    const auto w_span = p.CellAt(w_start);
+    splitter.assign(w_span.begin(), w_span.end());
+
+    // Count neighbours in the splitter.
+    for (VertexId u : splitter) {
+      for (VertexId v : graph_.Neighbors(u)) {
+        if (count_[v]++ == 0) touched_.push_back(v);
+      }
+    }
+
+    // Affected cells, in invariant (ascending start) order.
+    affected.clear();
+    for (VertexId v : touched_) {
+      affected.push_back(p.CellStartOf(v));
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+
+    for (uint32_t c_start : affected) {
+      const uint32_t c_size = p.CellSizeAt(c_start);
+      if (c_size == 1) continue;
+      const auto cell = p.CellAt(c_start);
+      keyed.clear();
+      uint32_t min_count = static_cast<uint32_t>(-1);
+      uint32_t max_count = 0;
+      for (VertexId v : cell) {
+        const uint32_t c = count_[v];
+        min_count = std::min(min_count, c);
+        max_count = std::max(max_count, c);
+        keyed.emplace_back(c, v);
+      }
+      if (min_count == max_count) continue;  // Uniform: no split.
+
+      std::sort(keyed.begin(), keyed.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      reordered.clear();
+      group_sizes.clear();
+      uint32_t group_len = 0;
+      for (size_t i = 0; i < keyed.size(); ++i) {
+        reordered.push_back(keyed[i].second);
+        ++group_len;
+        const bool last = i + 1 == keyed.size();
+        if (last || keyed[i + 1].first != keyed[i].first) {
+          group_sizes.push_back(group_len);
+          hash = HashMix(hash, (uint64_t{c_start} << 32) | keyed[i].first);
+          hash = HashMix(hash, group_len);
+          group_len = 0;
+        }
+      }
+      p.SplitCell(c_start, reordered, group_sizes);
+      // Schedule every new sub-cell as a splitter.
+      uint32_t sub_start = c_start;
+      for (uint32_t gsize : group_sizes) {
+        worklist.push_back(sub_start);
+        sub_start += gsize;
+      }
+      hash = HashMix(hash, (uint64_t{w_start} << 32) | c_start);
+    }
+
+    // Reset scratch.
+    for (VertexId v : touched_) count_[v] = 0;
+    touched_.clear();
+  }
+
+  // The per-split records already pin down the resulting structure given
+  // the (inductively equal) input structure; mix the cell count as a cheap
+  // extra integrity check.
+  hash = HashMix(hash, p.NumCells());
+  return hash;
+}
+
+std::vector<std::vector<VertexId>> EquitablePartition(
+    const Graph& graph, const std::vector<uint32_t>& colors) {
+  OrderedPartition partition(graph.NumVertices(), colors);
+  Refiner refiner(graph);
+  refiner.RefineAll(partition);
+  return partition.Cells();
+}
+
+}  // namespace ksym

@@ -1,0 +1,135 @@
+// Equitable partition refinement (1-dimensional Weisfeiler-Leman, a.k.a.
+// colour refinement) on ordered partitions.
+//
+// This is the workhorse of the individualization-refinement automorphism
+// search (aut/search.*) and also directly implements the paper's "total
+// degree partition" TDV(G) (Section 7): the coarsest equitable partition
+// refining the initial colouring, which the paper reports coincides with the
+// automorphism partition Orb(G) on all their real networks.
+//
+// An OrderedPartition keeps the vertices in a single array where each cell
+// is a contiguous segment; a cell is named by its start position. All
+// processing orders (worklist order, affected-cell order, count order) are
+// isomorphism-invariant, which makes the refinement trace hash usable for
+// search-tree pruning and canonical labelling.
+
+#ifndef KSYM_AUT_REFINEMENT_H_
+#define KSYM_AUT_REFINEMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "perm/permutation.h"
+
+namespace ksym {
+
+/// An ordered partition of [0, n) into contiguous cells.
+class OrderedPartition {
+ public:
+  static constexpr uint32_t kNoCell = static_cast<uint32_t>(-1);
+
+  /// The unit partition (single cell) if colors is empty, else cells grouped
+  /// by color and ordered by ascending color value.
+  OrderedPartition(size_t n, const std::vector<uint32_t>& colors);
+
+  size_t NumVertices() const { return elements_.size(); }
+  size_t NumCells() const { return num_cells_; }
+  bool IsDiscrete() const { return num_cells_ == elements_.size(); }
+
+  /// Start position of the cell containing v.
+  uint32_t CellStartOf(VertexId v) const { return cell_start_[v]; }
+
+  /// Size of the cell starting at `start` (must be a cell start).
+  uint32_t CellSizeAt(uint32_t start) const { return cell_size_[start]; }
+
+  /// Elements of the cell starting at `start`.
+  std::span<const VertexId> CellAt(uint32_t start) const {
+    return {elements_.data() + start, cell_size_[start]};
+  }
+
+  /// Start of the first cell of size > 1 in partition order, or kNoCell if
+  /// discrete. This is the (isomorphism-invariant) target-cell selector of
+  /// the search; amortized O(1) via a monotone hint that RevertTo rewinds.
+  uint32_t TargetCell() const;
+
+  /// Splits v's cell into [ {v}, rest ]; requires |cell| >= 2. Returns the
+  /// start of the new singleton cell (== old cell start).
+  uint32_t Individualize(VertexId v);
+
+  /// All cells in order, as vertex lists.
+  std::vector<std::vector<VertexId>> Cells() const;
+
+  /// For a discrete partition: the labelling vertex -> position.
+  Permutation ToLabeling() const;
+
+  /// Replaces the segment [start, start+total) by consecutive groups whose
+  /// sizes are `group_sizes` and whose elements are `reordered` (a
+  /// permutation of the segment's current contents). Internal helper for the
+  /// refiner; exposed for tests.
+  void SplitCell(uint32_t start, const std::vector<VertexId>& reordered,
+                 const std::vector<uint32_t>& group_sizes);
+
+  /// Backtracking support: every split (including Individualize) is
+  /// journaled. JournalMark() before a speculative step, RevertTo(mark) to
+  /// merge all later splits back. Within-cell element order after a revert
+  /// may differ from before the step; cell contents are restored exactly.
+  size_t JournalMark() const { return journal_.size(); }
+  void RevertTo(size_t mark);
+
+ private:
+  struct SplitRecord {
+    uint32_t start;
+    uint32_t old_size;
+    uint32_t num_groups;
+  };
+
+  std::vector<VertexId> elements_;   // Vertices; cells are segments.
+  std::vector<uint32_t> position_;   // position_[v]: index of v in elements_.
+  std::vector<uint32_t> cell_start_; // cell_start_[v]: start of v's cell.
+  std::vector<uint32_t> cell_size_;  // Valid at cell-start indices.
+  size_t num_cells_ = 0;
+  std::vector<SplitRecord> journal_;
+  // Every cell starting before target_hint_ is a singleton.
+  mutable uint32_t target_hint_ = 0;
+};
+
+/// Stateful refiner holding scratch buffers keyed to one graph.
+class Refiner {
+ public:
+  explicit Refiner(const Graph& graph);
+
+  /// Refines `p` to the coarsest equitable partition finer than it, seeding
+  /// the splitter worklist with every current cell. Returns an
+  /// isomorphism-invariant trace hash of the refinement.
+  uint64_t RefineAll(OrderedPartition& p);
+
+  /// Refines after Individualize(): the worklist is seeded with the new
+  /// singleton cell at `seed_start` (sufficient to restore equitability when
+  /// `p` was equitable before the split). Returns the trace hash.
+  uint64_t RefineFrom(OrderedPartition& p, uint32_t seed_start);
+
+ private:
+  uint64_t DoRefine(OrderedPartition& p, std::vector<uint32_t> worklist);
+
+  const Graph& graph_;
+  std::vector<uint32_t> count_;    // Scratch: neighbour counts.
+  std::vector<VertexId> touched_;  // Scratch: vertices with count > 0.
+  // Scratch buffers reused across DoRefine calls (allocation-free refines).
+  std::vector<VertexId> splitter_;
+  std::vector<uint32_t> affected_;
+  std::vector<std::pair<uint32_t, VertexId>> keyed_;
+  std::vector<VertexId> reordered_;
+  std::vector<uint32_t> group_sizes_;
+};
+
+/// The stable (coarsest equitable) partition refining `colors` — the
+/// paper's TDV(G) when colors is empty. Cells are returned in partition
+/// order.
+std::vector<std::vector<VertexId>> EquitablePartition(
+    const Graph& graph, const std::vector<uint32_t>& colors = {});
+
+}  // namespace ksym
+
+#endif  // KSYM_AUT_REFINEMENT_H_

@@ -1,0 +1,201 @@
+#include "aut/search.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "aut/refinement.h"
+#include "perm/union_find.h"
+
+namespace ksym {
+namespace {
+
+// Relabelled, normalized, sorted edge list of `graph` under labelling
+// `lab` (vertex -> position). Two leaves are automorphic images of each
+// other iff these lists are equal.
+std::vector<std::pair<VertexId, VertexId>> RelabeledEdges(
+    const Graph& graph, const Permutation& lab) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(graph.NumEdges());
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const VertexId lu = lab.Image(u);
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) {
+        const VertexId lv = lab.Image(v);
+        edges.emplace_back(std::min(lu, lv), std::max(lu, lv));
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+class AutSearcher {
+ public:
+  AutSearcher(const Graph& graph, const std::vector<uint32_t>& colors)
+      : graph_(graph),
+        n_(graph.NumVertices()),
+        colors_(colors),
+        refiner_(graph),
+        global_orbits_(n_) {}
+
+  AutomorphismResult Run() {
+    if (n_ > 0) {
+      OrderedPartition root(n_, colors_);
+      refiner_.RefineAll(root);
+      Explore(root, /*depth=*/0, /*on_first_path=*/true);
+    }
+
+    AutomorphismResult result;
+    result.generators = std::move(generators_);
+    result.nodes = nodes_;
+    result.orbit_rep.resize(n_);
+    std::vector<VertexId> min_of_root(n_, kInvalidVertex);
+    for (VertexId v = 0; v < n_; ++v) {
+      const uint32_t r = global_orbits_.Find(v);
+      if (min_of_root[r] == kInvalidVertex) min_of_root[r] = v;
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      result.orbit_rep[v] = min_of_root[global_orbits_.Find(v)];
+    }
+    return result;
+  }
+
+ private:
+  enum class Outcome { kContinue, kAutFound };
+
+  // Explores the node whose (equitable) partition is the current state of
+  // `p`; `p` is restored to that state before returning.
+  //
+  // Sibling orbit pruning runs only at nodes on the first (leftmost) path,
+  // where it is exact and free: every generator discovered so far was found
+  // at a leaf sharing this node's branch prefix with the first path, hence
+  // fixes the prefix pointwise, so the *global* orbit structure is exactly
+  // the pruning relation. Off-path subtrees instead rely on invariant
+  // pruning plus backjumping (an off-path subtree is abandoned as soon as
+  // it produces one automorphism).
+  Outcome Explore(OrderedPartition& p, size_t depth, bool on_first_path) {
+    ++nodes_;
+    if (p.IsDiscrete()) return HandleLeaf(p);
+
+    const uint32_t target = p.TargetCell();
+
+    // On the first path children are visited in sorted order (deterministic
+    // spine) with orbit pruning. Off the first path the visit order is
+    // irrelevant — the subtree is abandoned after its first automorphism —
+    // so candidates are fetched lazily from the (mutating) cell segment,
+    // avoiding a per-node copy+sort.
+    std::vector<VertexId> children;
+    if (on_first_path) {
+      const auto cell_span = p.CellAt(target);
+      children.assign(cell_span.begin(), cell_span.end());
+      std::sort(children.begin(), children.end());
+    }
+    std::vector<VertexId> tried;
+    bool is_leftmost_child = true;
+
+    size_t cursor = 0;
+    while (true) {
+      VertexId v = kInvalidVertex;
+      if (on_first_path) {
+        // Next sorted child not redundant under the discovered group.
+        for (; cursor < children.size(); ++cursor) {
+          bool redundant = false;
+          for (VertexId w : tried) {
+            if (global_orbits_.Same(children[cursor], w)) {
+              redundant = true;
+              break;
+            }
+          }
+          if (!redundant) break;
+        }
+        if (cursor == children.size()) break;
+        v = children[cursor++];
+      } else {
+        // First segment element not tried yet.
+        for (VertexId candidate : p.CellAt(target)) {
+          if (std::find(tried.begin(), tried.end(), candidate) ==
+              tried.end()) {
+            v = candidate;
+            break;
+          }
+        }
+        if (v == kInvalidVertex) break;
+      }
+      tried.push_back(v);
+
+      const size_t mark = p.JournalMark();
+      const uint32_t singleton = p.Individualize(v);
+      const uint64_t inv = refiner_.RefineFrom(p, singleton);
+
+      bool pruned = false;
+      if (!have_first_) {
+        // Building the leftmost spine: record its invariant trace.
+        KSYM_DCHECK(first_inv_.size() == depth);
+        first_inv_.push_back(inv);
+      } else if (depth >= first_inv_.size() || inv != first_inv_[depth]) {
+        // A leaf equal to the first leaf must share the first path's
+        // invariant trace; anything else is a dead subtree.
+        pruned = true;
+      }
+
+      Outcome outcome = Outcome::kContinue;
+      if (!pruned) {
+        outcome = Explore(p, depth + 1, on_first_path && is_leftmost_child);
+      }
+      p.RevertTo(mark);
+      is_leftmost_child = false;
+      if (outcome == Outcome::kAutFound && !on_first_path) {
+        // Backjump: this subtree is an automorphic image of an explored
+        // one; its remaining branches yield nothing new.
+        return Outcome::kAutFound;
+      }
+    }
+    return Outcome::kContinue;
+  }
+
+  Outcome HandleLeaf(const OrderedPartition& p) {
+    Permutation lab = p.ToLabeling();
+    auto edges = RelabeledEdges(graph_, lab);
+    if (!have_first_) {
+      have_first_ = true;
+      first_labeling_ = std::move(lab);
+      first_edges_ = std::move(edges);
+      return Outcome::kContinue;
+    }
+    if (edges == first_edges_) {
+      // lab and first_labeling_ produce the same labelled graph, so
+      // g = lab ∘ first_labeling_^{-1} is an automorphism.
+      Permutation g = lab.Compose(first_labeling_.Inverse());
+      if (!g.IsIdentity()) {
+        for (VertexId x = 0; x < n_; ++x) global_orbits_.Union(x, g.Image(x));
+        generators_.push_back(std::move(g));
+        return Outcome::kAutFound;
+      }
+    }
+    return Outcome::kContinue;
+  }
+
+  const Graph& graph_;
+  const VertexId n_;
+  const std::vector<uint32_t>& colors_;
+  Refiner refiner_;
+
+  bool have_first_ = false;
+  std::vector<uint64_t> first_inv_;  // Invariant trace of the leftmost path.
+  Permutation first_labeling_;
+  std::vector<std::pair<VertexId, VertexId>> first_edges_;
+
+  std::vector<Permutation> generators_;
+  UnionFind global_orbits_;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+AutomorphismResult ComputeAutomorphisms(const Graph& graph,
+                                        const std::vector<uint32_t>& colors) {
+  KSYM_CHECK(colors.empty() || colors.size() == graph.NumVertices());
+  return AutSearcher(graph, colors).Run();
+}
+
+}  // namespace ksym

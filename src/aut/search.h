@@ -1,0 +1,52 @@
+// Automorphism group computation by individualization-refinement.
+//
+// ComputeAutomorphisms runs a McKay-style backtracking search over ordered
+// partitions: refine to an equitable partition, pick an (invariant) target
+// cell, individualize each of its vertices in turn, recurse. Every leaf is a
+// discrete partition, i.e. a labelling of the graph; a leaf whose relabelled
+// edge set equals the first leaf's yields an automorphism (this is exactly
+// how nauty, which the paper uses, discovers generators).
+//
+// Pruning, without which k-symmetric graphs (enormous groups) would be
+// intractable:
+//   * invariant pruning — a child whose refinement trace differs from the
+//     first path's trace at the same depth cannot lead to a leaf equal to
+//     the first leaf;
+//   * orbit pruning — siblings in the same orbit of the subgroup fixing the
+//     current branch prefix generate equivalent subtrees; only one is
+//     explored;
+//   * backjumping — once a subtree off the first path yields an
+//     automorphism, its remaining siblings inside that subtree are
+//     redundant.
+//
+// The returned generators generate Aut(G) (respecting `colors` if given);
+// orbit_rep is the automorphism partition Orb(G) in representative form.
+
+#ifndef KSYM_AUT_SEARCH_H_
+#define KSYM_AUT_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "perm/permutation.h"
+
+namespace ksym {
+
+struct AutomorphismResult {
+  /// Generators of Aut(G) (colour-preserving if colours were supplied).
+  std::vector<Permutation> generators;
+  /// orbit_rep[v] = minimum vertex of v's orbit under <generators>.
+  std::vector<VertexId> orbit_rep;
+  /// Search-tree nodes visited (diagnostics).
+  uint64_t nodes = 0;
+};
+
+/// Computes Aut(G). If `colors` is non-empty (size n), only colour-preserving
+/// automorphisms are considered.
+AutomorphismResult ComputeAutomorphisms(const Graph& graph,
+                                        const std::vector<uint32_t>& colors = {});
+
+}  // namespace ksym
+
+#endif  // KSYM_AUT_SEARCH_H_

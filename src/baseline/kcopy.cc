@@ -1,0 +1,34 @@
+#include "baseline/kcopy.h"
+
+namespace ksym {
+
+Result<KCopyResult> KCopyAnonymize(const Graph& graph, uint32_t k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const size_t n = graph.NumVertices();
+
+  KCopyResult result;
+  result.original_vertices = n;
+  GraphBuilder builder(n * k);
+  const auto edges = graph.Edges();
+  for (uint32_t copy = 0; copy < k; ++copy) {
+    const VertexId offset = static_cast<VertexId>(copy * n);
+    for (const auto& [u, v] : edges) {
+      builder.AddEdge(u + offset, v + offset);
+    }
+  }
+  result.graph = builder.Build();
+  result.vertices_added = (k - 1) * n;
+  result.edges_added = (k - 1) * graph.NumEdges();
+
+  std::vector<std::vector<VertexId>> cells(n);
+  for (VertexId v = 0; v < n; ++v) {
+    cells[v].reserve(k);
+    for (uint32_t copy = 0; copy < k; ++copy) {
+      cells[v].push_back(v + static_cast<VertexId>(copy * n));
+    }
+  }
+  result.partition = VertexPartition::FromCells(n * k, std::move(cells));
+  return result;
+}
+
+}  // namespace ksym

@@ -1,0 +1,41 @@
+// The k-copy construction: the trivial k-automorphic release.
+//
+// The paper's conclusion poses the comparison with k-automorphism (Zou,
+// Chen & Ozsu, PVLDB 2009) as future work. The degenerate-but-legal member
+// of that family is disjoint replication: publish k disjoint copies of G.
+// Every vertex then has k-1 nontrivial automorphisms with distinct images
+// (cyclic copy shifts), so the release is k-automorphic AND k-symmetric —
+// at a rigid cost of exactly (k-1)|V| vertices and (k-1)|E| edges.
+//
+// It is the natural cost foil for orbit copying: k-symmetry pays vertices
+// only for deficient orbits but multiplies hub degrees, while k-copy pays
+// the full vertex bill but never amplifies any degree. The ablation bench
+// measures where each wins.
+
+#ifndef KSYM_BASELINE_KCOPY_H_
+#define KSYM_BASELINE_KCOPY_H_
+
+#include <cstdint>
+
+#include "aut/orbits.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+struct KCopyResult {
+  /// k disjoint copies of the input; copy c occupies ids [c*n, (c+1)*n).
+  Graph graph;
+  /// Cells {v, v+n, ..., v+(k-1)n} — a sub-automorphism partition.
+  VertexPartition partition;
+  size_t original_vertices = 0;
+  size_t vertices_added = 0;
+  size_t edges_added = 0;
+};
+
+/// Builds the k-copy release. k must be >= 1.
+Result<KCopyResult> KCopyAnonymize(const Graph& graph, uint32_t k);
+
+}  // namespace ksym
+
+#endif  // KSYM_BASELINE_KCOPY_H_

@@ -1,0 +1,54 @@
+// k-degree anonymity baseline (Liu & Terzi, SIGMOD 2008; reference [7] of
+// the paper).
+//
+// A graph is k-degree anonymous when every degree value is shared by at
+// least k vertices. Liu-Terzi anonymize in two phases:
+//   1. degree-sequence anonymization — an exact O(nk) dynamic program over
+//      the descending degree sequence groups vertices into runs of size
+//      k..2k-1, raising every member to the group maximum at minimum total
+//      increase;
+//   2. supergraph realization — add edges between degree-deficient vertices
+//      (highest residual deficiency first) until every vertex reaches its
+//      target; on a dead end the targets are re-randomized ("probing") and
+//      the attempt repeats.
+//
+// The k-symmetry paper's motivation experiment (combined structural
+// knowledge, Figure 2) is exactly the attack this baseline fails against:
+// our ablation bench shows k-degree anonymous graphs still expose most
+// vertices to the combined measure.
+
+#ifndef KSYM_BASELINE_KDEGREE_H_
+#define KSYM_BASELINE_KDEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Phase 1: given any degree sequence, returns per-vertex target degrees
+/// (>= input) forming a k-anonymous multiset with minimal total increase
+/// over grouping strategies. Exposed separately for testing.
+std::vector<size_t> AnonymizeDegreeSequence(const std::vector<size_t>& degrees,
+                                            uint32_t k);
+
+struct KDegreeResult {
+  Graph graph;
+  size_t edges_added = 0;
+  size_t attempts = 1;  // Realization attempts used (probing rounds).
+};
+
+/// Full pipeline: makes `graph` k-degree anonymous by edge insertion only.
+/// Fails (kInfeasible) if no realization is found within the probing budget.
+Result<KDegreeResult> KDegreeAnonymize(const Graph& graph, uint32_t k,
+                                       Rng& rng);
+
+/// True iff every degree value in `graph` occurs at least k times.
+bool IsKDegreeAnonymous(const Graph& graph, uint32_t k);
+
+}  // namespace ksym
+
+#endif  // KSYM_BASELINE_KDEGREE_H_

@@ -1,0 +1,18 @@
+#include "baseline/naive.h"
+
+#include <numeric>
+
+#include "graph/algorithms.h"
+
+namespace ksym {
+
+NaiveAnonymization NaiveAnonymize(const Graph& graph, Rng& rng) {
+  NaiveAnonymization result;
+  result.pseudonym.resize(graph.NumVertices());
+  std::iota(result.pseudonym.begin(), result.pseudonym.end(), 0u);
+  rng.Shuffle(result.pseudonym.begin(), result.pseudonym.end());
+  result.graph = RelabelGraph(graph, result.pseudonym);
+  return result;
+}
+
+}  // namespace ksym

@@ -1,0 +1,26 @@
+// Naive anonymization (Section 1): replace identities with random integers.
+// Structurally this is a uniformly random relabelling of the vertices — the
+// strawman every structural re-identification attack defeats.
+
+#ifndef KSYM_BASELINE_NAIVE_H_
+#define KSYM_BASELINE_NAIVE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+struct NaiveAnonymization {
+  Graph graph;
+  /// pseudonym[v] = the released id of original vertex v.
+  std::vector<VertexId> pseudonym;
+};
+
+/// Relabels vertices with a uniformly random permutation.
+NaiveAnonymization NaiveAnonymize(const Graph& graph, Rng& rng);
+
+}  // namespace ksym
+
+#endif  // KSYM_BASELINE_NAIVE_H_

@@ -1,0 +1,50 @@
+#include "baseline/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace ksym {
+
+Result<PerturbationResult> RandomEdgePerturbation(const Graph& graph,
+                                                  double fraction, Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  const size_t n = graph.NumVertices();
+  std::vector<std::pair<VertexId, VertexId>> edges = graph.Edges();
+  const size_t num_changes = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(edges.size())));
+
+  rng.Shuffle(edges.begin(), edges.end());
+  std::set<std::pair<VertexId, VertexId>> kept(edges.begin() + num_changes,
+                                               edges.end());
+
+  // Insert the same number of random non-edges (w.r.t. the original graph
+  // and the already-inserted ones).
+  const uint64_t max_edges = n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  size_t added = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * num_changes + 100;
+  while (added < num_changes && kept.size() < max_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (graph.HasEdge(u, v)) continue;
+    if (kept.insert({u, v}).second) ++added;
+  }
+
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : kept) builder.AddEdge(u, v);
+  PerturbationResult result;
+  result.graph = builder.Build();
+  result.edges_deleted = num_changes;
+  result.edges_added = added;
+  return result;
+}
+
+}  // namespace ksym

@@ -1,0 +1,29 @@
+// Random edge perturbation (Hay et al. 2007, discussed in Section 6):
+// delete a fraction of edges uniformly at random and insert the same number
+// of uniformly random non-edges. Resists some attacks but pays in utility —
+// the baseline the k-symmetry utility experiments are implicitly measured
+// against.
+
+#ifndef KSYM_BASELINE_PERTURBATION_H_
+#define KSYM_BASELINE_PERTURBATION_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+struct PerturbationResult {
+  Graph graph;
+  size_t edges_deleted = 0;
+  size_t edges_added = 0;
+};
+
+/// Deletes round(fraction * |E|) random edges, then adds the same number of
+/// random non-edges. fraction must be in [0, 1].
+Result<PerturbationResult> RandomEdgePerturbation(const Graph& graph,
+                                                  double fraction, Rng& rng);
+
+}  // namespace ksym
+
+#endif  // KSYM_BASELINE_PERTURBATION_H_

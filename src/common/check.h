@@ -1,0 +1,30 @@
+// Lightweight assertion macros for programming errors.
+//
+// KSYM_CHECK is always on; KSYM_DCHECK compiles away in NDEBUG builds.
+// These are for invariants that indicate bugs in the calling code, not for
+// recoverable conditions (use Status / Result<T> for those).
+
+#ifndef KSYM_COMMON_CHECK_H_
+#define KSYM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KSYM_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KSYM_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define KSYM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define KSYM_DCHECK(cond) KSYM_CHECK(cond)
+#endif
+
+#endif  // KSYM_COMMON_CHECK_H_

@@ -1,0 +1,138 @@
+// Status and Result<T>: exception-free error handling for the ksym library.
+//
+// Library entry points that can fail for reasons outside the caller's control
+// (bad input files, infeasible parameters, ...) return Status or Result<T>.
+// Programming errors use KSYM_CHECK / KSYM_DCHECK instead.
+
+#ifndef KSYM_COMMON_STATUS_H_
+#define KSYM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ksym {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+  kInfeasible,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); errors carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr<T>; accessing the value of an error Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so `return value;` and
+  /// `return Status::InvalidArgument(...)` both work in a Result-returning
+  /// function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    KSYM_CHECK(!status_.ok());  // An OK status must carry a value.
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    KSYM_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    KSYM_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    KSYM_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace ksym
+
+/// Propagates a non-OK Status from an expression. Usable in functions
+/// returning Status or Result<T>.
+#define KSYM_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ksym::Status ksym_status_ = (expr);       \
+    if (!ksym_status_.ok()) return ksym_status_; \
+  } while (0)
+
+#endif  // KSYM_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Small string utilities used by I/O, logging and bench table printers.
+
+#ifndef KSYM_COMMON_STR_H_
+#define KSYM_COMMON_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksym {
+
+/// Splits `text` on `sep`, trimming nothing; empty fields are kept.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Parses a non-negative integer; returns false on any non-digit content.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// Parses a double via strtod semantics; returns false on trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ksym
+
+#endif  // KSYM_COMMON_STR_H_

@@ -1,0 +1,30 @@
+// Wall-clock timer for benches and progress reporting.
+
+#ifndef KSYM_COMMON_TIMER_H_
+#define KSYM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ksym {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ksym
+
+#endif  // KSYM_COMMON_TIMER_H_

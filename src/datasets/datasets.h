@@ -1,0 +1,59 @@
+// Synthetic stand-ins for the paper's evaluation datasets.
+//
+// The paper evaluates on three real networks obtained privately from
+// M. Hay (Table 1):
+//
+//   Network    |V|    |E|    min  max   median  avg
+//   Enron       111    287    1    20     5     5.17
+//   Hep-Th     2510   4737    1    36     2     3.77
+//   Net-trace  4213   5507    1  1656     1     2.61
+//
+// Those traces are not redistributable, so this module synthesizes seeded
+// graphs matched to every Table 1 statistic: an explicit target degree
+// sequence (Poisson-like for Enron, truncated power law for Hepth, an
+// extreme-hub + power-law tail for Net_trace, reproducing the single
+// 1656-degree vertex the hub-exclusion experiments of Section 5.2 hinge
+// on), realized as a simple graph via the configuration model. The
+// behaviours under study — orbit structure of sparse skewed graphs, cost of
+// symmetrizing hubs, sampling utility — depend on these aggregate
+// properties, not on the identities in the original traces (see DESIGN.md,
+// "Substitutions").
+
+#ifndef KSYM_DATASETS_DATASETS_H_
+#define KSYM_DATASETS_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+inline constexpr uint64_t kDefaultDatasetSeed = 20100322;  // EDBT'10 day one.
+
+/// Enron-like email network: 111 vertices, ~287 edges, bell-ish degrees.
+Graph MakeEnronLike(uint64_t seed = kDefaultDatasetSeed);
+
+/// Hep-Th-like collaboration network: 2510 vertices, ~4737 edges,
+/// right-skewed with max degree ~36.
+Graph MakeHepthLike(uint64_t seed = kDefaultDatasetSeed);
+
+/// Net-trace-like IP trace: 4213 vertices, ~5507 edges, one extreme hub of
+/// degree ~1656 and a mass of degree-1 leaves.
+Graph MakeNetTraceLike(uint64_t seed = kDefaultDatasetSeed);
+
+/// A dataset with the statistics the paper reports for it.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  DegreeStats paper_stats;  // Table 1 values.
+};
+
+/// All three stand-ins with their paper-reported Table 1 statistics.
+std::vector<Dataset> MakeAllDatasets(uint64_t seed = kDefaultDatasetSeed);
+
+}  // namespace ksym
+
+#endif  // KSYM_DATASETS_DATASETS_H_

@@ -1,0 +1,185 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ksym {
+
+ComponentInfo ConnectedComponents(const Graph& graph) {
+  const size_t n = graph.NumVertices();
+  ComponentInfo info;
+  info.component.assign(n, static_cast<uint32_t>(-1));
+
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (info.component[start] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t comp = info.num_components++;
+    info.sizes.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    info.component[start] = comp;
+    size_t head = 0;
+    while (head < queue.size()) {
+      const VertexId u = queue[head++];
+      ++info.sizes[comp];
+      for (VertexId w : graph.Neighbors(u)) {
+        if (info.component[w] == static_cast<uint32_t>(-1)) {
+          info.component[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.NumVertices() <= 1) return true;
+  return ConnectedComponents(graph).num_components == 1;
+}
+
+size_t LargestComponentSize(const Graph& graph) {
+  if (graph.NumVertices() == 0) return 0;
+  const ComponentInfo info = ConnectedComponents(graph);
+  return *std::max_element(info.sizes.begin(), info.sizes.end());
+}
+
+std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source) {
+  const size_t n = graph.NumVertices();
+  KSYM_DCHECK(source < n);
+  std::vector<int64_t> dist(n, -1);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  dist[source] = 0;
+  queue.push_back(source);
+  size_t head = 0;
+  while (head < queue.size()) {
+    const VertexId u = queue[head++];
+    const int64_t du = dist[u];
+    for (VertexId w : graph.Neighbors(u)) {
+      if (dist[w] < 0) {
+        dist[w] = du + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> TriangleCounts(const Graph& graph) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint64_t> tri(n, 0);
+  // For each edge (u, v) with u < v, intersect sorted neighbor lists; each
+  // common neighbor w closes a triangle {u, v, w}. To count each triangle
+  // once per edge scan, only consider w > v; then credit all three corners.
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nu = graph.Neighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      const auto nv = graph.Neighbors(v);
+      // Merge-intersect the suffixes with entries > v.
+      auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          const VertexId w = *iu;
+          ++tri[u];
+          ++tri[v];
+          ++tri[w];
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return tri;
+}
+
+uint64_t TotalTriangles(const Graph& graph) {
+  const std::vector<uint64_t> tri = TriangleCounts(graph);
+  const uint64_t corner_sum = std::accumulate(tri.begin(), tri.end(), uint64_t{0});
+  return corner_sum / 3;
+}
+
+std::vector<double> ClusteringCoefficients(const Graph& graph) {
+  const std::vector<uint64_t> tri = TriangleCounts(graph);
+  const size_t n = graph.NumVertices();
+  std::vector<double> cc(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const size_t d = graph.Degree(v);
+    if (d >= 2) {
+      cc[v] = 2.0 * static_cast<double>(tri[v]) /
+              (static_cast<double>(d) * static_cast<double>(d - 1));
+    }
+  }
+  return cc;
+}
+
+Graph InducedSubgraph(const Graph& graph,
+                      const std::vector<VertexId>& vertices) {
+  std::vector<VertexId> to_new(graph.NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    KSYM_DCHECK(vertices[i] < graph.NumVertices());
+    KSYM_DCHECK(to_new[vertices[i]] == kInvalidVertex);  // No duplicates.
+    to_new[vertices[i]] = static_cast<VertexId>(i);
+  }
+  GraphBuilder builder(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId w : graph.Neighbors(vertices[i])) {
+      const VertexId j = to_new[w];
+      if (j != kInvalidVertex && static_cast<VertexId>(i) < j) {
+        builder.AddEdge(static_cast<VertexId>(i), j);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph RelabelGraph(const Graph& graph, const std::vector<VertexId>& perm) {
+  const size_t n = graph.NumVertices();
+  KSYM_CHECK(perm.size() == n);
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) builder.AddEdge(perm[u], perm[v]);
+    }
+  }
+  Graph out = builder.Build();
+  KSYM_CHECK(out.NumEdges() == graph.NumEdges());  // perm was a bijection.
+  return out;
+}
+
+Graph DisjointUnion(const Graph& a, const Graph& b) {
+  const VertexId offset = static_cast<VertexId>(a.NumVertices());
+  GraphBuilder builder(a.NumVertices() + b.NumVertices());
+  for (const auto& [u, v] : a.Edges()) builder.AddEdge(u, v);
+  for (const auto& [u, v] : b.Edges()) builder.AddEdge(u + offset, v + offset);
+  return builder.Build();
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  if (graph.NumVertices() == 0) return stats;
+
+  std::vector<size_t> degrees = graph.Degrees();
+  std::sort(degrees.begin(), degrees.end());
+  stats.min_degree = degrees.front();
+  stats.max_degree = degrees.back();
+  const size_t n = degrees.size();
+  stats.median_degree =
+      (n % 2 == 1) ? static_cast<double>(degrees[n / 2])
+                   : (static_cast<double>(degrees[n / 2 - 1]) +
+                      static_cast<double>(degrees[n / 2])) /
+                         2.0;
+  stats.average_degree =
+      2.0 * static_cast<double>(graph.NumEdges()) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace ksym

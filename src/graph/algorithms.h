@@ -1,0 +1,75 @@
+// Classic graph algorithms needed by the measures, utility statistics, and
+// the k-symmetry machinery: connectivity, BFS distances, triangles,
+// clustering coefficients, induced subgraphs, and summary statistics.
+
+#ifndef KSYM_GRAPH_ALGORITHMS_H_
+#define KSYM_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Result of a connected-components decomposition.
+struct ComponentInfo {
+  /// component[v] is the component index of v, in [0, num_components).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// sizes[c] is the number of vertices in component c.
+  std::vector<size_t> sizes;
+};
+
+/// Computes connected components with iterative BFS.
+ComponentInfo ConnectedComponents(const Graph& graph);
+
+/// True iff the graph has exactly one connected component (the empty graph
+/// and the single-vertex graph count as connected).
+bool IsConnected(const Graph& graph);
+
+/// Number of vertices in the largest connected component (0 for an empty
+/// graph).
+size_t LargestComponentSize(const Graph& graph);
+
+/// BFS distances from `source`; unreachable vertices get -1.
+std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source);
+
+/// Per-vertex triangle counts: tri(v) = number of triangles through v.
+/// Runs in O(sum_over_edges min(deg)) using sorted-adjacency merge.
+std::vector<uint64_t> TriangleCounts(const Graph& graph);
+
+/// Total number of triangles in the graph (each counted once).
+uint64_t TotalTriangles(const Graph& graph);
+
+/// Local clustering coefficient per vertex:
+/// c(v) = 2 * tri(v) / (deg(v) * (deg(v) - 1)); 0 when deg(v) < 2.
+std::vector<double> ClusteringCoefficients(const Graph& graph);
+
+/// The subgraph induced by `vertices` (need not be sorted; must be
+/// duplicate-free). Vertex i of the result corresponds to vertices[i];
+/// `vertices` itself is the result-to-input mapping.
+Graph InducedSubgraph(const Graph& graph, const std::vector<VertexId>& vertices);
+
+/// Relabels the graph by permutation `perm` where perm[v] is the new id of
+/// old vertex v. perm must be a bijection on [0, n).
+Graph RelabelGraph(const Graph& graph, const std::vector<VertexId>& perm);
+
+/// Disjoint union: vertices of `b` are shifted by a.NumVertices().
+Graph DisjointUnion(const Graph& a, const Graph& b);
+
+/// Summary degree statistics as reported in the paper's Table 1.
+struct DegreeStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t min_degree = 0;
+  size_t max_degree = 0;
+  double median_degree = 0.0;
+  double average_degree = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+}  // namespace ksym
+
+#endif  // KSYM_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,279 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "common/str.h"
+
+namespace ksym {
+
+Graph MakePath(size_t n) {
+  GraphBuilder builder(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    builder.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return builder.Build();
+}
+
+Graph MakeCycle(size_t n) {
+  KSYM_CHECK(n >= 3);
+  GraphBuilder builder(n);
+  for (size_t i = 0; i < n; ++i) {
+    builder.AddEdge(static_cast<VertexId>(i),
+                    static_cast<VertexId>((i + 1) % n));
+  }
+  return builder.Build();
+}
+
+Graph MakeStar(size_t n) {
+  KSYM_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (size_t i = 1; i < n; ++i) {
+    builder.AddEdge(0, static_cast<VertexId>(i));
+  }
+  return builder.Build();
+}
+
+Graph MakeComplete(size_t n) {
+  GraphBuilder builder(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      builder.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  return builder.Build();
+}
+
+Graph MakeCompleteBipartite(size_t a, size_t b) {
+  GraphBuilder builder(a + b);
+  for (size_t i = 0; i < a; ++i) {
+    for (size_t j = 0; j < b; ++j) {
+      builder.AddEdge(static_cast<VertexId>(i),
+                      static_cast<VertexId>(a + j));
+    }
+  }
+  return builder.Build();
+}
+
+Graph MakeHypercube(size_t d) {
+  KSYM_CHECK(d < 20);
+  const size_t n = size_t{1} << d;
+  GraphBuilder builder(n);
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t bit = 0; bit < d; ++bit) {
+      const size_t w = v ^ (size_t{1} << bit);
+      if (v < w) {
+        builder.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph MakePetersen() {
+  GraphBuilder builder(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (VertexId i = 0; i < 5; ++i) {
+    builder.AddEdge(i, (i + 1) % 5);
+    builder.AddEdge(5 + i, 5 + (i + 2) % 5);
+    builder.AddEdge(i, 5 + i);
+  }
+  return builder.Build();
+}
+
+Graph MakeBalancedTree(size_t arity, size_t depth) {
+  KSYM_CHECK(arity >= 1);
+  GraphBuilder builder(1);
+  std::vector<VertexId> frontier = {0};
+  for (size_t level = 0; level < depth; ++level) {
+    std::vector<VertexId> next;
+    next.reserve(frontier.size() * arity);
+    for (VertexId parent : frontier) {
+      for (size_t c = 0; c < arity; ++c) {
+        const VertexId child = builder.AddVertex();
+        builder.AddEdge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return builder.Build();
+}
+
+Graph MakeGrid(size_t rows, size_t cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnm(size_t n, size_t m, Rng& rng) {
+  const uint64_t max_edges =
+      n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = static_cast<size_t>(std::min<uint64_t>(m, max_edges));
+  GraphBuilder builder(n);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  while (chosen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (chosen.insert({u, v}).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnp(size_t n, double p, Rng& rng) {
+  GraphBuilder builder(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.NextBernoulli(p)) {
+        builder.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(size_t n, size_t m, Rng& rng) {
+  KSYM_CHECK(m >= 1);
+  const size_t seed_size = std::min(n, m + 1);
+  GraphBuilder builder(n);
+  // Repeated-endpoint list: picking a uniform element is degree-proportional.
+  std::vector<VertexId> endpoints;
+  for (size_t i = 0; i < seed_size; ++i) {
+    for (size_t j = i + 1; j < seed_size; ++j) {
+      builder.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      endpoints.push_back(static_cast<VertexId>(i));
+      endpoints.push_back(static_cast<VertexId>(j));
+    }
+  }
+  for (size_t v = seed_size; v < n; ++v) {
+    std::set<VertexId> targets;
+    size_t guard = 0;
+    while (targets.size() < m && guard < 100 * m) {
+      ++guard;
+      const VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+      targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      builder.AddEdge(static_cast<VertexId>(v), t);
+      endpoints.push_back(static_cast<VertexId>(v));
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(size_t n, size_t k, double beta, Rng& rng) {
+  KSYM_CHECK(n > 2 * k);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  auto norm = [](VertexId a, VertexId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 1; j <= k; ++j) {
+      edges.insert(norm(static_cast<VertexId>(i),
+                        static_cast<VertexId>((i + j) % n)));
+    }
+  }
+  std::vector<std::pair<VertexId, VertexId>> edge_list(edges.begin(),
+                                                       edges.end());
+  for (auto& e : edge_list) {
+    if (!rng.NextBernoulli(beta)) continue;
+    // Rewire the second endpoint to a uniform non-neighbor.
+    for (size_t attempt = 0; attempt < 32; ++attempt) {
+      const VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+      if (w == e.first || w == e.second) continue;
+      const auto candidate = norm(e.first, w);
+      if (edges.count(candidate)) continue;
+      edges.erase(e);
+      edges.insert(candidate);
+      e = candidate;
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+Result<Graph> ConfigurationModel(const std::vector<size_t>& degrees,
+                                 Rng& rng) {
+  const size_t n = degrees.size();
+  uint64_t stub_count = 0;
+  for (size_t d : degrees) {
+    if (d >= n && n > 0) {
+      return Status::InvalidArgument(StrFormat(
+          "degree %zu impossible in a simple graph on %zu vertices", d, n));
+    }
+    stub_count += d;
+  }
+  if (stub_count % 2 != 0) {
+    return Status::InvalidArgument("degree sequence sum must be even");
+  }
+
+  std::vector<VertexId> stubs;
+  stubs.reserve(stub_count);
+  for (VertexId v = 0; v < n; ++v) {
+    for (size_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  rng.Shuffle(stubs.begin(), stubs.end());
+
+  auto norm = [](VertexId a, VertexId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  };
+  std::set<std::pair<VertexId, VertexId>> edges;
+  std::vector<std::pair<VertexId, VertexId>> bad;  // Loops and duplicates.
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const VertexId u = stubs[i];
+    const VertexId v = stubs[i + 1];
+    if (u == v || edges.count(norm(u, v))) {
+      bad.emplace_back(u, v);
+    } else {
+      edges.insert(norm(u, v));
+    }
+  }
+
+  // Repair pass: rewire each bad pairing against a random existing edge,
+  // which preserves all degrees. (u,v)+(x,y) -> (u,x)+(v,y).
+  std::vector<std::pair<VertexId, VertexId>> edge_vec(edges.begin(),
+                                                      edges.end());
+  size_t repaired = 0;
+  for (const auto& [u, v] : bad) {
+    bool done = false;
+    for (size_t attempt = 0; attempt < 200 && !done; ++attempt) {
+      if (edge_vec.empty()) break;
+      const size_t idx = rng.NextBounded(edge_vec.size());
+      const auto [x, y] = edge_vec[idx];
+      if (u == x || u == y || v == x || v == y) continue;
+      const auto e1 = norm(u, x);
+      const auto e2 = norm(v, y);
+      if (edges.count(e1) || edges.count(e2)) continue;
+      edges.erase(norm(x, y));
+      edges.insert(e1);
+      edges.insert(e2);
+      edge_vec[idx] = e1;
+      edge_vec.push_back(e2);
+      done = true;
+    }
+    if (done) ++repaired;
+    // Otherwise the pairing is erased: degrees drop by one at u and v.
+  }
+  (void)repaired;
+
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace ksym

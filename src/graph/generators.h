@@ -1,0 +1,86 @@
+// Graph generators.
+//
+// Two families:
+//  * Deterministic classic graphs (paths, cycles, stars, complete graphs,
+//    hypercubes, Petersen, balanced trees, ...) whose automorphism groups
+//    have closed forms — the validation corpus for the automorphism engine.
+//  * Random models (Erdos-Renyi, Barabasi-Albert, Watts-Strogatz,
+//    configuration model) used to synthesize workloads and the paper's
+//    dataset stand-ins.
+//
+// All random generators are seeded and deterministic for a given seed.
+
+#ifndef KSYM_GRAPH_GENERATORS_H_
+#define KSYM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+// ---------------------------------------------------------------------------
+// Deterministic families.
+// ---------------------------------------------------------------------------
+
+/// Path P_n on n vertices (n-1 edges). |Aut| = 2 for n >= 2.
+Graph MakePath(size_t n);
+
+/// Cycle C_n, n >= 3. |Aut| = 2n (dihedral group).
+Graph MakeCycle(size_t n);
+
+/// Star K_{1,n-1}: vertex 0 is the hub. |Aut| = (n-1)!.
+Graph MakeStar(size_t n);
+
+/// Complete graph K_n. |Aut| = n!.
+Graph MakeComplete(size_t n);
+
+/// Complete bipartite K_{a,b}; first a vertices on the left side.
+/// |Aut| = a! b! for a != b, 2 (a!)^2 for a == b.
+Graph MakeCompleteBipartite(size_t a, size_t b);
+
+/// d-dimensional hypercube Q_d (2^d vertices). |Aut| = 2^d * d!.
+Graph MakeHypercube(size_t d);
+
+/// The Petersen graph (10 vertices, 15 edges). |Aut| = 120.
+Graph MakePetersen();
+
+/// Complete `arity`-ary tree of the given `depth` (depth 0 = single root).
+Graph MakeBalancedTree(size_t arity, size_t depth);
+
+/// n-by-m grid graph.
+Graph MakeGrid(size_t rows, size_t cols);
+
+// ---------------------------------------------------------------------------
+// Random models.
+// ---------------------------------------------------------------------------
+
+/// Erdos-Renyi G(n, m): exactly m distinct edges drawn uniformly.
+/// m is clamped to the number of possible edges.
+Graph ErdosRenyiGnm(size_t n, size_t m, Rng& rng);
+
+/// Erdos-Renyi G(n, p): each edge present independently with probability p.
+Graph ErdosRenyiGnp(size_t n, double p, Rng& rng);
+
+/// Barabasi-Albert preferential attachment: start from a small clique and
+/// attach each new vertex to `m` existing vertices chosen proportionally to
+/// degree. Produces a right-skewed (power-law-ish) degree distribution.
+Graph BarabasiAlbert(size_t n, size_t m, Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta.
+Graph WattsStrogatz(size_t n, size_t k, double beta, Rng& rng);
+
+/// Configuration model for a target degree sequence, realized as a simple
+/// graph. Stubs are matched randomly; self-loops/multi-edges are repaired by
+/// edge rewiring where possible and erased otherwise, so the realized
+/// degrees can fall slightly below the targets on hard sequences.
+/// Fails if the degree-sequence sum is odd or any degree >= n.
+Result<Graph> ConfigurationModel(const std::vector<size_t>& degrees, Rng& rng);
+
+}  // namespace ksym
+
+#endif  // KSYM_GRAPH_GENERATORS_H_

@@ -1,0 +1,115 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace ksym {
+
+Graph::Graph(size_t num_vertices) : adjacency_(num_vertices) {}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  KSYM_DCHECK(u < adjacency_.size());
+  KSYM_DCHECK(v < adjacency_.size());
+  // Search the shorter list.
+  const std::vector<VertexId>& adj =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const VertexId target =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::binary_search(adj.begin(), adj.end(), target);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < adjacency_.size(); ++u) {
+    for (VertexId v : adjacency_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::vector<size_t> Graph::Degrees() const {
+  std::vector<size_t> degrees(adjacency_.size());
+  for (size_t v = 0; v < adjacency_.size(); ++v) {
+    degrees[v] = adjacency_[v].size();
+  }
+  return degrees;
+}
+
+GraphBuilder::GraphBuilder(size_t num_vertices)
+    : num_vertices_(num_vertices) {}
+
+VertexId GraphBuilder::AddVertex() {
+  return static_cast<VertexId>(num_vertices_++);
+}
+
+void GraphBuilder::EnsureVertices(size_t n) {
+  if (n > num_vertices_) num_vertices_ = n;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;  // Simple graph: no self-loops.
+  if (u > v) std::swap(u, v);
+  EnsureVertices(static_cast<size_t>(v) + 1);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::Build() const {
+  std::vector<std::pair<VertexId, VertexId>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph graph(num_vertices_);
+  for (const auto& [u, v] : edges) {
+    graph.adjacency_[u].push_back(v);
+    graph.adjacency_[v].push_back(u);
+  }
+  for (auto& adj : graph.adjacency_) {
+    std::sort(adj.begin(), adj.end());
+  }
+  graph.num_edges_ = edges.size();
+  return graph;
+}
+
+MutableGraph::MutableGraph(const Graph& graph)
+    : adjacency_(graph.adjacency_), num_edges_(graph.num_edges_) {}
+
+VertexId MutableGraph::AddVertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+bool MutableGraph::HasEdge(VertexId u, VertexId v) const {
+  KSYM_DCHECK(u < adjacency_.size());
+  KSYM_DCHECK(v < adjacency_.size());
+  const std::vector<VertexId>& adj =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const VertexId target =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(adj.begin(), adj.end(), target) != adj.end();
+}
+
+void MutableGraph::AddEdge(VertexId u, VertexId v) {
+  KSYM_DCHECK(u != v);
+  KSYM_DCHECK(u < adjacency_.size());
+  KSYM_DCHECK(v < adjacency_.size());
+  KSYM_DCHECK(!HasEdge(u, v));
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+Graph MutableGraph::Freeze() const {
+  Graph graph(adjacency_.size());
+  graph.adjacency_ = adjacency_;
+  for (auto& adj : graph.adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    KSYM_DCHECK(std::adjacent_find(adj.begin(), adj.end()) == adj.end());
+  }
+  graph.num_edges_ = num_edges_;
+  return graph;
+}
+
+}  // namespace ksym

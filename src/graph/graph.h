@@ -1,0 +1,143 @@
+// Core graph types for ksym.
+//
+// The paper models a social network as a simple undirected graph
+// G = (V, E) with no self-loops or parallel edges. `Graph` is the immutable
+// workhorse used by all analysis code: vertices are dense ids
+// [0, NumVertices()), adjacency lists are sorted, and every undirected edge
+// {u, v} appears in both lists.
+//
+// `GraphBuilder` assembles a Graph from arbitrary edge insertions
+// (deduplicating and dropping self-loops), and `MutableGraph` supports the
+// incremental vertex/edge insertion that the anonymization procedure
+// performs before freezing the result back into a Graph.
+
+#ifndef KSYM_GRAPH_GRAPH_H_
+#define KSYM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ksym {
+
+using VertexId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// An immutable simple undirected graph with dense vertex ids and sorted
+/// adjacency lists. Copyable and movable.
+class Graph {
+ public:
+  /// An empty graph with `num_vertices` isolated vertices.
+  explicit Graph(size_t num_vertices = 0);
+
+  size_t NumVertices() const { return adjacency_.size(); }
+
+  /// Number of undirected edges.
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Sorted neighbors of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    KSYM_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  size_t Degree(VertexId v) const {
+    KSYM_DCHECK(v < adjacency_.size());
+    return adjacency_[v].size();
+  }
+
+  /// O(log deg) membership test for the undirected edge {u, v}.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All undirected edges with u < v, in lexicographic order.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// Degrees of all vertices, indexed by vertex id.
+  std::vector<size_t> Degrees() const;
+
+  /// Structural equality: same vertex count and identical adjacency. This is
+  /// *labelled* equality, not isomorphism.
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.adjacency_ == b.adjacency_;
+  }
+
+ private:
+  friend class GraphBuilder;
+  friend class MutableGraph;
+
+  std::vector<std::vector<VertexId>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// Accumulates edges and produces a valid Graph. Self-loops are dropped and
+/// duplicate edges are merged, so any edge soup yields a simple graph.
+class GraphBuilder {
+ public:
+  /// Starts with `num_vertices` isolated vertices; AddEdge with endpoints
+  /// beyond the current count grows the vertex set automatically.
+  explicit GraphBuilder(size_t num_vertices = 0);
+
+  /// Adds a fresh isolated vertex and returns its id.
+  VertexId AddVertex();
+
+  /// Ensures at least `n` vertices exist.
+  void EnsureVertices(size_t n);
+
+  /// Records the undirected edge {u, v}. Self-loops are silently ignored.
+  void AddEdge(VertexId u, VertexId v);
+
+  size_t NumVertices() const { return num_vertices_; }
+
+  /// Builds the graph. The builder can be reused afterwards (it keeps its
+  /// state); typical callers just let it go out of scope.
+  Graph Build() const;
+
+ private:
+  size_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// A graph under modification. The k-symmetry anonymizer inserts vertices
+/// and edges (never deletes), matching the paper's restriction to
+/// vertex/edge insertion; `Freeze()` validates and produces the immutable
+/// result.
+///
+/// AddEdge requires the edge to be absent (the orbit-copying operation never
+/// produces duplicates); this is checked in debug builds.
+class MutableGraph {
+ public:
+  MutableGraph() = default;
+  /// Starts from an existing graph; original vertex ids are preserved.
+  explicit MutableGraph(const Graph& graph);
+
+  VertexId AddVertex();
+  void AddEdge(VertexId u, VertexId v);
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  size_t NumVertices() const { return adjacency_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    KSYM_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+  size_t Degree(VertexId v) const {
+    KSYM_DCHECK(v < adjacency_.size());
+    return adjacency_[v].size();
+  }
+
+  /// Sorts adjacency lists and returns the immutable graph.
+  Graph Freeze() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;  // Unsorted while mutable.
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ksym
+
+#endif  // KSYM_GRAPH_GRAPH_H_

@@ -1,0 +1,97 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/str.h"
+#include "graph/algorithms.h"
+
+namespace ksym {
+
+Result<LoadedGraph> ReadEdgeList(std::istream& in) {
+  LoadedGraph out;
+  std::unordered_map<uint64_t, VertexId> id_map;
+  GraphBuilder builder;
+
+  auto intern = [&](uint64_t raw) {
+    auto [it, inserted] =
+        id_map.emplace(raw, static_cast<VertexId>(out.labels.size()));
+    if (inserted) {
+      out.labels.push_back(raw);
+      builder.EnsureVertices(out.labels.size());
+    }
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#' || stripped[0] == '%') {
+      continue;
+    }
+    const std::vector<std::string_view> fields = SplitWhitespace(stripped);
+    if (fields.size() < 2) {
+      return Status::IoError(
+          StrFormat("line %zu: expected 'u v', got '%s'", line_no,
+                    std::string(stripped).c_str()));
+    }
+    uint64_t u_raw = 0;
+    uint64_t v_raw = 0;
+    if (!ParseUint64(fields[0], &u_raw) || !ParseUint64(fields[1], &v_raw)) {
+      return Status::IoError(
+          StrFormat("line %zu: non-integer vertex id", line_no));
+    }
+    const VertexId u = intern(u_raw);
+    const VertexId v = intern(v_raw);
+    builder.AddEdge(u, v);
+  }
+
+  // Normalize: order internal ids by ascending original label, which makes
+  // the mapping deterministic and write-then-read an exact round trip.
+  const size_t n = out.labels.size();
+  std::vector<VertexId> by_label(n);
+  for (VertexId i = 0; i < n; ++i) by_label[i] = i;
+  std::sort(by_label.begin(), by_label.end(), [&out](VertexId a, VertexId b) {
+    return out.labels[a] < out.labels[b];
+  });
+  std::vector<VertexId> perm(n);  // old id -> new id.
+  std::vector<uint64_t> sorted_labels(n);
+  for (VertexId rank = 0; rank < n; ++rank) {
+    perm[by_label[rank]] = rank;
+    sorted_labels[rank] = out.labels[by_label[rank]];
+  }
+  out.labels = std::move(sorted_labels);
+  out.graph = RelabelGraph(builder.Build(), perm);
+  return out;
+}
+
+Result<LoadedGraph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  return ReadEdgeList(in);
+}
+
+Status WriteEdgeList(const Graph& graph, std::ostream& out) {
+  out << "# vertices " << graph.NumVertices() << " edges " << graph.NumEdges()
+      << "\n";
+  for (const auto& [u, v] : graph.Edges()) {
+    out << u << ' ' << v << '\n';
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteEdgeList(graph, out);
+}
+
+}  // namespace ksym

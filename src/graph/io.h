@@ -1,0 +1,43 @@
+// Edge-list I/O.
+//
+// The on-disk format is the one virtually every public network dataset uses:
+// one "u v" pair per line, '#' or '%' comment lines ignored, vertices are
+// non-negative integers. Ids need not be dense; they are remapped to
+// [0, n) in first-appearance order and the mapping is returned.
+
+#ifndef KSYM_GRAPH_IO_H_
+#define KSYM_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// A loaded graph plus the original vertex labels: label[i] is the id that
+/// vertex i carried in the input file.
+struct LoadedGraph {
+  Graph graph;
+  std::vector<uint64_t> labels;
+};
+
+/// Parses an edge list from a stream. Self-loops are dropped, duplicate
+/// edges merged. Fails on malformed lines.
+Result<LoadedGraph> ReadEdgeList(std::istream& in);
+
+/// Reads an edge-list file from disk.
+Result<LoadedGraph> ReadEdgeListFile(const std::string& path);
+
+/// Writes "u v" lines (internal dense ids), one undirected edge each,
+/// preceded by a "# vertices <n> edges <m>" header comment.
+Status WriteEdgeList(const Graph& graph, std::ostream& out);
+
+/// Writes an edge-list file to disk.
+Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace ksym
+
+#endif  // KSYM_GRAPH_IO_H_

@@ -1,0 +1,96 @@
+#include "ksym/anonymizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ksym/orbit_copy.h"
+#include "ksym/partition.h"
+
+namespace ksym {
+
+SymmetryRequirement KSymmetryRequirement(uint32_t k) {
+  return [k](const std::vector<VertexId>&, size_t) { return k; };
+}
+
+SymmetryRequirement HubExclusionRequirement(uint32_t k,
+                                            size_t degree_threshold) {
+  return [k, degree_threshold](const std::vector<VertexId>&, size_t degree) {
+    return degree > degree_threshold ? 1u : k;
+  };
+}
+
+size_t DegreeThresholdForExcludedFraction(const Graph& graph,
+                                          double fraction) {
+  if (fraction <= 0.0 || graph.NumVertices() == 0) {
+    return std::numeric_limits<size_t>::max();
+  }
+  std::vector<size_t> degrees = graph.Degrees();
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  size_t num_excluded = static_cast<size_t>(
+      fraction * static_cast<double>(graph.NumVertices()));
+  num_excluded = std::min(num_excluded, degrees.size());
+  if (num_excluded == 0) return std::numeric_limits<size_t>::max();
+  // Exclude exactly the vertices with degree strictly above the cutoff.
+  return degrees[num_excluded - 1] == 0 ? 0 : degrees[num_excluded - 1] - 1;
+}
+
+Result<AnonymizationResult> Anonymize(const Graph& graph,
+                                      const AnonymizationOptions& options) {
+  const VertexPartition initial =
+      options.use_total_degree_partition
+          ? ComputeTotalDegreePartition(graph)
+          : ComputeAutomorphismPartition(graph);
+  return AnonymizeWithPartition(graph, initial, options);
+}
+
+Result<AnonymizationResult> AnonymizeWithPartition(
+    const Graph& graph, const VertexPartition& initial,
+    const AnonymizationOptions& options) {
+  if (!options.requirement && options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (initial.cell_of.size() != graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "initial partition does not match the graph");
+  }
+  const SymmetryRequirement requirement =
+      options.requirement ? options.requirement
+                          : KSymmetryRequirement(options.k);
+
+  MutableGraph mutable_graph(graph);
+  TrackedPartition partition(initial);
+
+  AnonymizationResult result;
+  result.original_vertices = graph.NumVertices();
+
+  const size_t num_cells = initial.cells.size();
+  for (uint32_t cell = 0; cell < num_cells; ++cell) {
+    // Copy the *original* members; the vertices of one orbit all share the
+    // same degree, so any member's degree represents the orbit.
+    const std::vector<VertexId> unit = initial.cells[cell];
+    const size_t degree = graph.Degree(unit.front());
+    const uint32_t required = requirement(unit, degree);
+    if (required <= 1) {
+      ++result.orbits_excluded;
+      continue;
+    }
+    if (partition.Cell(cell).size() >= required) {
+      ++result.orbits_satisfied;
+      continue;
+    }
+    ++result.orbits_copied;
+    while (partition.Cell(cell).size() < required) {
+      const size_t edges_before = mutable_graph.NumEdges();
+      OrbitCopy(mutable_graph, partition, cell, unit);
+      ++result.copy_operations;
+      result.vertices_added += unit.size();
+      result.edges_added += mutable_graph.NumEdges() - edges_before;
+    }
+  }
+
+  result.graph = mutable_graph.Freeze();
+  result.partition = partition.ToVertexPartition();
+  return result;
+}
+
+}  // namespace ksym

@@ -1,0 +1,84 @@
+// The k-symmetry anonymization procedure (Algorithm 1) and its f-symmetry
+// generalization (Definition 5, Section 5.2).
+//
+// Given a graph G and its automorphism partition Orb(G), each orbit smaller
+// than its requirement f(orbit) is copied until the orbit together with its
+// copies reaches the requirement. The output triple (G', V', |V(G)|) is
+// exactly what the paper publishes: the anonymized graph, its
+// sub-automorphism partition, and the original vertex count (used by the
+// sampling algorithms to size their output).
+
+#ifndef KSYM_KSYM_ANONYMIZER_H_
+#define KSYM_KSYM_ANONYMIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aut/orbits.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Per-orbit anonymity requirement: given the orbit's members and the shared
+/// degree of its vertices, returns the minimum size the augmented cell must
+/// reach. Returning 1 excludes the orbit from protection.
+using SymmetryRequirement = std::function<uint32_t(
+    const std::vector<VertexId>& orbit, size_t degree)>;
+
+/// The constant-k requirement of the basic model.
+SymmetryRequirement KSymmetryRequirement(uint32_t k);
+
+/// The hub-exclusion requirement of Section 5.2: orbits whose vertices have
+/// degree > degree_threshold map to 1 (unprotected); all others to k.
+SymmetryRequirement HubExclusionRequirement(uint32_t k,
+                                            size_t degree_threshold);
+
+/// Helper for the Figure 10/11 sweeps: the degree threshold that excludes
+/// (approximately) the top `fraction` of vertices by descending degree.
+/// fraction = 0 excludes nothing (returns SIZE_MAX).
+size_t DegreeThresholdForExcludedFraction(const Graph& graph, double fraction);
+
+struct AnonymizationOptions {
+  uint32_t k = 2;
+  /// If set, overrides k with a general f-symmetry requirement.
+  SymmetryRequirement requirement;
+  /// Use TDV(G) instead of the exact Orb(G) as the initial partition
+  /// (Section 7's scalable approximation; valid whenever TDV(G) = Orb(G),
+  /// which the paper reports for all their real networks).
+  bool use_total_degree_partition = false;
+};
+
+struct AnonymizationResult {
+  /// The anonymized graph G' (a supergraph of G: original ids unchanged).
+  Graph graph;
+  /// The released sub-automorphism partition V' of G'.
+  VertexPartition partition;
+  /// |V(G)| — released alongside G' for the sampling algorithms.
+  size_t original_vertices = 0;
+
+  // Cost accounting (Figures 10 and the complexity discussion of 3.3).
+  size_t vertices_added = 0;
+  size_t edges_added = 0;
+  size_t copy_operations = 0;
+  size_t orbits_copied = 0;
+  size_t orbits_excluded = 0;   // Requirement 1 (hub exclusion).
+  size_t orbits_satisfied = 0;  // Already >= requirement, nothing to do.
+};
+
+/// Anonymizes `graph` to satisfy the requirement (k-symmetry by default).
+/// Computes the initial partition internally.
+Result<AnonymizationResult> Anonymize(const Graph& graph,
+                                      const AnonymizationOptions& options);
+
+/// As above but with a caller-supplied initial sub-automorphism partition
+/// (Algorithm 1's actual signature). The caller is responsible for the
+/// partition really being a sub-automorphism partition of `graph`.
+Result<AnonymizationResult> AnonymizeWithPartition(
+    const Graph& graph, const VertexPartition& initial,
+    const AnonymizationOptions& options);
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_ANONYMIZER_H_

@@ -1,0 +1,49 @@
+// Graph backbone detection — Algorithm 2 and Section 4.1 of the paper.
+//
+// The backbone B_{G,V} is the least element of the reduction lattice
+// (Theorem 3): the smallest graph from which (G, V) can be regrown by orbit
+// copying operations. Detection inverts orbit copying: inside each cell V,
+// the induced subgraph G[V] decomposes into connected components; a
+// component that is isomorphic to another *under the L(V) constraint*
+// (matched vertices must share the same neighbourhood outside V — Section
+// 4.2.2) is an orbit-copy and is removed. We encode the L(V) constraint as
+// vertex colours (one colour per distinct external neighbourhood) and use
+// colour-preserving isomorphism.
+//
+// The pass repeats until no component can be removed, which on graphs
+// actually produced by orbit copying reaches the unique least element
+// (Theorems 3-4 guarantee order-independence).
+
+#ifndef KSYM_KSYM_BACKBONE_H_
+#define KSYM_KSYM_BACKBONE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aut/orbits.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+struct BackboneResult {
+  /// The backbone graph B_{G,V} with dense ids.
+  Graph graph;
+  /// The partition V restricted to the backbone (cells remapped).
+  VertexPartition partition;
+  /// kept[i] = vertex of the input graph that backbone vertex i represents.
+  std::vector<VertexId> kept;
+  /// Number of vertices removed as orbit-copies.
+  size_t removed_vertices = 0;
+  /// Number of component-level reduction operations applied.
+  size_t reduction_operations = 0;
+};
+
+/// Computes the backbone of (graph, partition). `partition` must be a
+/// sub-automorphism partition of `graph` (e.g. Orb(G), or the released V'
+/// of an anonymized graph).
+BackboneResult ComputeBackbone(const Graph& graph,
+                               const VertexPartition& partition);
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_BACKBONE_H_

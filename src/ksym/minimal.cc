@@ -1,0 +1,143 @@
+#include "ksym/minimal.h"
+
+#include <algorithm>
+#include <map>
+
+#include "aut/isomorphism.h"
+#include "graph/algorithms.h"
+#include "ksym/orbit_copy.h"
+#include "ksym/partition.h"
+
+namespace ksym {
+namespace {
+
+// Returns the smallest legal copy unit for `cell`: one connected component
+// of the cell-induced subgraph if all components are mutual L(V)-copies,
+// otherwise the whole cell.
+std::vector<VertexId> MinimalCopyUnit(const Graph& graph,
+                                      const VertexPartition& partition,
+                                      uint32_t cell) {
+  const std::vector<VertexId>& members = partition.cells[cell];
+  std::map<VertexId, uint32_t> index;
+  for (uint32_t i = 0; i < members.size(); ++i) index.emplace(members[i], i);
+
+  // Components of G[cell].
+  std::vector<uint32_t> comp(members.size(), static_cast<uint32_t>(-1));
+  uint32_t num_comps = 0;
+  for (uint32_t start = 0; start < members.size(); ++start) {
+    if (comp[start] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t c = num_comps++;
+    std::vector<uint32_t> queue = {start};
+    comp[start] = c;
+    size_t head = 0;
+    while (head < queue.size()) {
+      const uint32_t i = queue[head++];
+      for (VertexId u : graph.Neighbors(members[i])) {
+        const auto it = index.find(u);
+        if (it == index.end()) continue;
+        if (comp[it->second] == static_cast<uint32_t>(-1)) {
+          comp[it->second] = c;
+          queue.push_back(it->second);
+        }
+      }
+    }
+  }
+  if (num_comps <= 1) return members;
+
+  // L(V) colours from external neighbourhoods.
+  std::map<std::vector<VertexId>, uint32_t> signature_color;
+  std::vector<uint32_t> color(members.size());
+  for (uint32_t i = 0; i < members.size(); ++i) {
+    std::vector<VertexId> external;
+    for (VertexId u : graph.Neighbors(members[i])) {
+      if (partition.cell_of[u] != cell) external.push_back(u);
+    }
+    const auto [it, inserted] = signature_color.emplace(
+        std::move(external), static_cast<uint32_t>(signature_color.size()));
+    color[i] = it->second;
+  }
+
+  std::vector<std::vector<VertexId>> comp_members(num_comps);
+  for (uint32_t i = 0; i < members.size(); ++i) {
+    comp_members[comp[i]].push_back(members[i]);
+  }
+  auto component_colors = [&](const std::vector<VertexId>& vertices) {
+    std::vector<uint32_t> colors;
+    colors.reserve(vertices.size());
+    for (VertexId v : vertices) colors.push_back(color[index.at(v)]);
+    return colors;
+  };
+
+  const Graph rep_graph = InducedSubgraph(graph, comp_members[0]);
+  const std::vector<uint32_t> rep_colors = component_colors(comp_members[0]);
+  for (uint32_t c = 1; c < num_comps; ++c) {
+    const Graph other = InducedSubgraph(graph, comp_members[c]);
+    if (!AreIsomorphic(rep_graph, other, rep_colors,
+                       component_colors(comp_members[c]))) {
+      // Not all components are mutual copies; copying one of them would
+      // break symmetry between the others. Fall back to the whole cell.
+      return members;
+    }
+  }
+  return comp_members[0];
+}
+
+}  // namespace
+
+Result<AnonymizationResult> AnonymizeMinimalVertices(
+    const Graph& graph, const VertexPartition& initial,
+    const AnonymizationOptions& options) {
+  if (!options.requirement && options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (initial.cell_of.size() != graph.NumVertices()) {
+    return Status::InvalidArgument(
+        "initial partition does not match the graph");
+  }
+  const SymmetryRequirement requirement =
+      options.requirement ? options.requirement
+                          : KSymmetryRequirement(options.k);
+
+  MutableGraph mutable_graph(graph);
+  TrackedPartition partition(initial);
+  AnonymizationResult result;
+  result.original_vertices = graph.NumVertices();
+
+  for (uint32_t cell = 0; cell < initial.cells.size(); ++cell) {
+    const std::vector<VertexId>& orbit = initial.cells[cell];
+    const size_t degree = graph.Degree(orbit.front());
+    const uint32_t required = requirement(orbit, degree);
+    if (required <= 1) {
+      ++result.orbits_excluded;
+      continue;
+    }
+    if (partition.Cell(cell).size() >= required) {
+      ++result.orbits_satisfied;
+      continue;
+    }
+    ++result.orbits_copied;
+    const std::vector<VertexId> unit = MinimalCopyUnit(graph, initial, cell);
+    while (partition.Cell(cell).size() < required) {
+      const size_t edges_before = mutable_graph.NumEdges();
+      OrbitCopy(mutable_graph, partition, cell, unit);
+      ++result.copy_operations;
+      result.vertices_added += unit.size();
+      result.edges_added += mutable_graph.NumEdges() - edges_before;
+    }
+  }
+
+  result.graph = mutable_graph.Freeze();
+  result.partition = partition.ToVertexPartition();
+  return result;
+}
+
+Result<AnonymizationResult> AnonymizeMinimalVertices(
+    const Graph& graph, const AnonymizationOptions& options) {
+  const VertexPartition initial =
+      options.use_total_degree_partition
+          ? ComputeTotalDegreePartition(graph)
+          : ComputeAutomorphismPartition(graph);
+  return AnonymizeMinimalVertices(graph, initial, options);
+}
+
+}  // namespace ksym

@@ -1,0 +1,49 @@
+#include "ksym/orbit_copy.h"
+
+#include <unordered_map>
+
+namespace ksym {
+
+std::vector<VertexId> OrbitCopy(MutableGraph& graph,
+                                TrackedPartition& partition,
+                                uint32_t cell_index,
+                                std::span<const VertexId> unit) {
+  KSYM_CHECK(!unit.empty());
+
+  std::unordered_map<VertexId, VertexId> copy_of;
+  copy_of.reserve(unit.size());
+  std::vector<VertexId> copies;
+  copies.reserve(unit.size());
+
+  // Create all copies first so intra-unit edges can be wired pairwise.
+  for (VertexId v : unit) {
+    KSYM_DCHECK(partition.CellOf(v) == cell_index);
+    const VertexId v_copy = graph.AddVertex();
+    partition.AddCopy(v_copy, cell_index, v);
+    copy_of.emplace(v, v_copy);
+    copies.push_back(v_copy);
+  }
+
+  for (size_t i = 0; i < unit.size(); ++i) {
+    const VertexId v = unit[i];
+    const VertexId v_copy = copies[i];
+    for (VertexId u : graph.Neighbors(v)) {
+      if (partition.CellOf(u) != cell_index) {
+        // Rule 1: the copy keeps the exact external adjacency.
+        graph.AddEdge(u, v_copy);
+      } else {
+        // Rule 2: intra-unit edges are mirrored between the copies. The
+        // unit must be intra-cell closed, so u has a copy; add each
+        // mirrored edge once (from the lower-indexed endpoint).
+        auto it = copy_of.find(u);
+        KSYM_CHECK(it != copy_of.end());
+        if (v < u) {
+          graph.AddEdge(v_copy, it->second);
+        }
+      }
+    }
+  }
+  return copies;
+}
+
+}  // namespace ksym

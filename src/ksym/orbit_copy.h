@@ -1,0 +1,40 @@
+// The orbit copying operation Ocp(G, V, V_i) — Definition 3 of the paper.
+//
+// For each vertex v in the copied unit, a new vertex v' is introduced and
+// wired so that the copy preserves the unit's adjacency pattern exactly:
+//   1. every edge (u, v) with u outside the unit's cell becomes (u, v');
+//   2. every edge (u, v) inside the unit becomes (u', v').
+// Copies are appended to the unit's cell, which by Lemmas 1-2 keeps the
+// tracked partition a sub-automorphism partition of the growing graph.
+//
+// The `unit` parameter generalizes the textbook operation: Algorithm 1
+// always copies the cell's original members, while the vertex-minimal
+// variant (Section 5.1) and exact backbone sampling (Algorithm 3) copy a
+// smaller generating unit inside the cell.
+
+#ifndef KSYM_KSYM_ORBIT_COPY_H_
+#define KSYM_KSYM_ORBIT_COPY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ksym/partition.h"
+
+namespace ksym {
+
+/// Applies one orbit copying operation to `graph`/`partition`, duplicating
+/// `unit` (a subset of cell `cell_index` closed under intra-cell adjacency:
+/// every intra-cell neighbour of a unit vertex must itself be in the unit —
+/// this holds for whole cells, for the original members of augmented cells,
+/// and for unions of connected components of the cell-induced subgraph).
+///
+/// Returns the new vertex ids, aligned with `unit`.
+std::vector<VertexId> OrbitCopy(MutableGraph& graph,
+                                TrackedPartition& partition,
+                                uint32_t cell_index,
+                                std::span<const VertexId> unit);
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_ORBIT_COPY_H_

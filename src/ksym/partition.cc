@@ -1,0 +1,27 @@
+#include "ksym/partition.h"
+
+namespace ksym {
+
+TrackedPartition::TrackedPartition(const VertexPartition& initial)
+    : cell_of_(initial.cell_of),
+      cells_(initial.cells),
+      copied_from_(initial.cell_of.size(), kInvalidVertex) {}
+
+void TrackedPartition::AddCopy(VertexId v, uint32_t cell, VertexId original) {
+  KSYM_CHECK(v == cell_of_.size());  // Dense ids, appended in order.
+  KSYM_CHECK(cell < cells_.size());
+  KSYM_CHECK(original < v);
+  // Collapse copy-of-copy chains so OriginalOf always names a true original.
+  VertexId root = original;
+  if (copied_from_[root] != kInvalidVertex) root = copied_from_[root];
+  KSYM_DCHECK(copied_from_[root] == kInvalidVertex);
+  cell_of_.push_back(cell);
+  copied_from_.push_back(root);
+  cells_[cell].push_back(v);
+}
+
+VertexPartition TrackedPartition::ToVertexPartition() const {
+  return VertexPartition::FromCells(cell_of_.size(), cells_);
+}
+
+}  // namespace ksym

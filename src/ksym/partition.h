@@ -1,0 +1,68 @@
+// Mutable vertex partitions with copy provenance, used while anonymizing.
+//
+// The anonymization procedure (Algorithm 1) starts from the automorphism
+// partition Orb(G) and repeatedly applies orbit copying; per Lemma 2 each
+// cell accumulates its copies. TrackedPartition is that evolving
+// sub-automorphism partition: cells grow as copies are appended, and each
+// vertex remembers whether it is an original or which original it copies.
+
+#ifndef KSYM_KSYM_PARTITION_H_
+#define KSYM_KSYM_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aut/orbits.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+class TrackedPartition {
+ public:
+  /// Starts from a partition of the original graph's vertices. Every vertex
+  /// present now is an "original".
+  explicit TrackedPartition(const VertexPartition& initial);
+
+  size_t NumVertices() const { return cell_of_.size(); }
+  size_t NumCells() const { return cells_.size(); }
+
+  uint32_t CellOf(VertexId v) const {
+    KSYM_DCHECK(v < cell_of_.size());
+    return cell_of_[v];
+  }
+
+  const std::vector<VertexId>& Cell(uint32_t index) const {
+    KSYM_DCHECK(index < cells_.size());
+    return cells_[index];
+  }
+
+  /// Registers a new vertex `v` (must be the next dense id) as a copy of
+  /// `original`, appended to cell `cell`.
+  void AddCopy(VertexId v, uint32_t cell, VertexId original);
+
+  /// kInvalidVertex for originals, else the original this vertex copies
+  /// (possibly transitively collapsed to a true original).
+  VertexId OriginalOf(VertexId v) const {
+    KSYM_DCHECK(v < copied_from_.size());
+    return copied_from_[v];
+  }
+
+  bool IsOriginal(VertexId v) const {
+    return OriginalOf(v) == kInvalidVertex;
+  }
+
+  /// Snapshot as an immutable VertexPartition (cells reordered by minimum
+  /// element, per VertexPartition convention).
+  VertexPartition ToVertexPartition() const;
+
+ private:
+  std::vector<uint32_t> cell_of_;
+  std::vector<std::vector<VertexId>> cells_;
+  // copied_from_[v]: original vertex v was copied from (kInvalidVertex for
+  // originals). Copies of copies are collapsed to the root original.
+  std::vector<VertexId> copied_from_;
+};
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_PARTITION_H_

@@ -1,0 +1,33 @@
+#include "ksym/quotient.h"
+
+namespace ksym {
+
+QuotientResult ComputeQuotient(const Graph& graph,
+                               const VertexPartition& partition) {
+  KSYM_CHECK(partition.cell_of.size() == graph.NumVertices());
+  const size_t num_cells = partition.cells.size();
+  QuotientResult result;
+  result.has_internal_edges.assign(num_cells, false);
+  result.cell_size.resize(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    result.cell_size[c] = partition.cells[c].size();
+  }
+
+  GraphBuilder builder(num_cells);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const uint32_t cu = partition.cell_of[u];
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u >= v) continue;
+      const uint32_t cv = partition.cell_of[v];
+      if (cu == cv) {
+        result.has_internal_edges[cu] = true;
+      } else {
+        builder.AddEdge(cu, cv);  // Builder deduplicates.
+      }
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace ksym

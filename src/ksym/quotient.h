@@ -1,0 +1,41 @@
+// Network quotient — the structural skeleton of Xiao et al. (Physical
+// Review E 2008), reference [15] of the paper and the foil of its Figure 6.
+//
+// The quotient collapses every cell of a vertex partition (typically
+// Orb(G)) to a single super-vertex, connecting two super-vertices iff any
+// members are adjacent; a cell with internal edges gets a self-loop flag.
+// Unlike the backbone, the quotient also merges automorphic substructures
+// spanning *several* orbits (Figure 6: the isomorphic subgraphs S1/S2
+// survive in the backbone but fuse in the quotient), so it is smaller but
+// loses modular information and cannot be regrown by orbit copying.
+
+#ifndef KSYM_KSYM_QUOTIENT_H_
+#define KSYM_KSYM_QUOTIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "aut/orbits.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+struct QuotientResult {
+  /// One vertex per cell of the input partition; edges between cells with
+  /// any cross adjacency. Simple graph (self-loops tracked separately).
+  Graph graph;
+  /// has_internal_edges[c]: cell c induces at least one edge (the quotient
+  /// "self-loop").
+  std::vector<bool> has_internal_edges;
+  /// cell_size[c]: number of original vertices collapsed into c.
+  std::vector<size_t> cell_size;
+};
+
+/// Collapses `partition`'s cells. Quotient vertex c corresponds to
+/// partition.cells[c].
+QuotientResult ComputeQuotient(const Graph& graph,
+                               const VertexPartition& partition);
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_QUOTIENT_H_

@@ -1,0 +1,147 @@
+#include "ksym/release_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/str.h"
+
+namespace ksym {
+
+ReleaseTriple MakeReleaseTriple(const AnonymizationResult& result) {
+  return ReleaseTriple{result.graph, result.partition,
+                       result.original_vertices};
+}
+
+Status WriteRelease(const ReleaseTriple& release, std::ostream& out) {
+  out << "# ksym-release 1\n";
+  out << "original " << release.original_vertices << "\n";
+  out << "vertices " << release.graph.NumVertices() << "\n";
+  for (const auto& [u, v] : release.graph.Edges()) {
+    out << "edge " << u << ' ' << v << "\n";
+  }
+  for (const auto& cell : release.partition.cells) {
+    out << "cell";
+    for (VertexId v : cell) out << ' ' << v;
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status WriteReleaseFile(const ReleaseTriple& release,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteRelease(release, out);
+}
+
+Result<ReleaseTriple> ReadRelease(std::istream& in) {
+  ReleaseTriple release;
+  bool have_header = false;
+  bool have_original = false;
+  bool have_vertices = false;
+  size_t num_vertices = 0;
+  GraphBuilder builder;
+  std::vector<std::vector<VertexId>> cells;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped[0] == '#') {
+      if (!have_header) {
+        if (stripped.rfind("# ksym-release", 0) != 0) {
+          return Status::IoError("missing ksym-release header");
+        }
+        have_header = true;
+      }
+      continue;
+    }
+    if (!have_header) return Status::IoError("missing ksym-release header");
+
+    const auto fields = SplitWhitespace(stripped);
+    const std::string_view keyword = fields[0];
+    auto parse_field = [&](size_t index, uint64_t* value) {
+      return index < fields.size() && ParseUint64(fields[index], value);
+    };
+    if (keyword == "original") {
+      uint64_t n = 0;
+      if (!parse_field(1, &n)) {
+        return Status::IoError(StrFormat("line %zu: bad original", line_no));
+      }
+      release.original_vertices = n;
+      have_original = true;
+    } else if (keyword == "vertices") {
+      uint64_t n = 0;
+      if (!parse_field(1, &n)) {
+        return Status::IoError(StrFormat("line %zu: bad vertices", line_no));
+      }
+      num_vertices = n;
+      builder.EnsureVertices(num_vertices);
+      have_vertices = true;
+    } else if (keyword == "edge") {
+      uint64_t u = 0;
+      uint64_t v = 0;
+      if (!parse_field(1, &u) || !parse_field(2, &v)) {
+        return Status::IoError(StrFormat("line %zu: bad edge", line_no));
+      }
+      builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    } else if (keyword == "cell") {
+      std::vector<VertexId> cell;
+      for (size_t i = 1; i < fields.size(); ++i) {
+        uint64_t v = 0;
+        if (!ParseUint64(fields[i], &v)) {
+          return Status::IoError(StrFormat("line %zu: bad cell", line_no));
+        }
+        cell.push_back(static_cast<VertexId>(v));
+      }
+      if (cell.empty()) {
+        return Status::IoError(StrFormat("line %zu: empty cell", line_no));
+      }
+      cells.push_back(std::move(cell));
+    } else {
+      return Status::IoError(StrFormat("line %zu: unknown keyword '%s'",
+                                       line_no,
+                                       std::string(keyword).c_str()));
+    }
+  }
+  if (!have_header || !have_original || !have_vertices) {
+    return Status::IoError("incomplete release: header/original/vertices");
+  }
+  release.graph = builder.Build();
+  if (release.graph.NumVertices() != num_vertices) {
+    return Status::IoError("edge endpoints exceed declared vertex count");
+  }
+
+  // Validate the partition: exact cover of [0, vertices).
+  std::vector<bool> seen(num_vertices, false);
+  for (const auto& cell : cells) {
+    for (VertexId v : cell) {
+      if (v >= num_vertices || seen[v]) {
+        return Status::IoError("cells must cover each vertex exactly once");
+      }
+      seen[v] = true;
+    }
+  }
+  for (bool s : seen) {
+    if (!s) return Status::IoError("cells must cover every vertex");
+  }
+  release.partition =
+      VertexPartition::FromCells(num_vertices, std::move(cells));
+  if (release.original_vertices > num_vertices) {
+    return Status::IoError("original vertex count exceeds released size");
+  }
+  return release;
+}
+
+Result<ReleaseTriple> ReadReleaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadRelease(in);
+}
+
+}  // namespace ksym

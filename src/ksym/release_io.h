@@ -1,0 +1,49 @@
+// Serialization of the release triple (G', V', |V(G)|).
+//
+// The paper's publisher hands analysts three things: the anonymized graph,
+// its sub-automorphism partition, and the original vertex count (Section
+// 4.2.1). This module defines a simple line-oriented text format for the
+// triple so the publisher and analyst can be separate processes (see the
+// ksym_anonymize / ksym_sample command-line tools):
+//
+//   # ksym-release 1
+//   original <n>
+//   vertices <|V'|>
+//   edge <u> <v>          (one per undirected edge)
+//   cell <v1> <v2> ...    (one per partition cell)
+//
+// Lines starting with '#' are comments; sections may be interleaved but the
+// header must come first.
+
+#ifndef KSYM_KSYM_RELEASE_IO_H_
+#define KSYM_KSYM_RELEASE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "ksym/anonymizer.h"
+
+namespace ksym {
+
+/// The analyst-visible part of an AnonymizationResult.
+struct ReleaseTriple {
+  Graph graph;
+  VertexPartition partition;
+  size_t original_vertices = 0;
+};
+
+/// Extracts the release triple from an anonymization result.
+ReleaseTriple MakeReleaseTriple(const AnonymizationResult& result);
+
+Status WriteRelease(const ReleaseTriple& release, std::ostream& out);
+Status WriteReleaseFile(const ReleaseTriple& release, const std::string& path);
+
+/// Parses and validates a release: the partition must cover the vertex set
+/// exactly once.
+Result<ReleaseTriple> ReadRelease(std::istream& in);
+Result<ReleaseTriple> ReadReleaseFile(const std::string& path);
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_RELEASE_IO_H_

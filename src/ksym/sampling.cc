@@ -1,0 +1,205 @@
+#include "ksym/sampling.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "ksym/backbone.h"
+#include "ksym/orbit_copy.h"
+#include "ksym/partition.h"
+
+namespace ksym {
+
+std::vector<double> InverseDegreeCellWeights(
+    const Graph& graph, const VertexPartition& partition) {
+  std::vector<double> weights(partition.cells.size(), 0.0);
+  for (size_t i = 0; i < partition.cells.size(); ++i) {
+    const size_t degree = graph.Degree(partition.cells[i].front());
+    weights[i] = 1.0 / static_cast<double>(std::max<size_t>(degree, 1));
+  }
+  return weights;
+}
+
+std::vector<double> SizeAwareCellWeights(const Graph& graph,
+                                         const VertexPartition& partition) {
+  std::vector<double> weights = InverseDegreeCellWeights(graph, partition);
+  for (size_t i = 0; i < partition.cells.size(); ++i) {
+    const double size = static_cast<double>(partition.cells[i].size());
+    weights[i] *= size * size;
+  }
+  return weights;
+}
+
+Result<Graph> ExactBackboneSample(const Graph& graph,
+                                  const VertexPartition& partition,
+                                  size_t target_vertices, Rng& rng,
+                                  const std::vector<double>* weights,
+                                  SampleStats* stats) {
+  if (partition.cell_of.size() != graph.NumVertices()) {
+    return Status::InvalidArgument("partition does not match graph");
+  }
+  std::vector<double> default_weights;
+  if (weights == nullptr) {
+    default_weights = SizeAwareCellWeights(graph, partition);
+    weights = &default_weights;
+  }
+  if (weights->size() != partition.cells.size()) {
+    return Status::InvalidArgument("one weight per cell required");
+  }
+
+  // Backbone of the released pair; backbone cell b corresponds to released
+  // cell via the representative's cell in the input partition.
+  const BackboneResult backbone = ComputeBackbone(graph, partition);
+  const size_t num_backbone_cells = backbone.partition.cells.size();
+
+  // Map each backbone cell to its released cell (for sizes and weights).
+  std::vector<uint32_t> released_cell(num_backbone_cells);
+  for (uint32_t b = 0; b < num_backbone_cells; ++b) {
+    const VertexId rep_in_backbone = backbone.partition.cells[b].front();
+    released_cell[b] = partition.cell_of[backbone.kept[rep_in_backbone]];
+  }
+
+  // Distribute the vertex budget: CPN[b] copy operations per backbone cell,
+  // subject to (CPN[b] + 1) * |B_b| <= |V'_released(b)| so the sample never
+  // outgrows the released graph's cell.
+  std::vector<size_t> cpn(num_backbone_cells, 0);
+  int64_t budget = static_cast<int64_t>(target_vertices) -
+                   static_cast<int64_t>(backbone.graph.NumVertices());
+  size_t copy_ops = 0;
+  while (budget > 0) {
+    std::vector<double> feasible(num_backbone_cells, 0.0);
+    bool any = false;
+    for (uint32_t b = 0; b < num_backbone_cells; ++b) {
+      const size_t unit = backbone.partition.cells[b].size();
+      const size_t cap = partition.cells[released_cell[b]].size();
+      if ((cpn[b] + 2) * unit <= cap) {  // Room for one more copy.
+        feasible[b] = (*weights)[released_cell[b]];
+        any = any || feasible[b] > 0.0;
+      }
+    }
+    if (!any) break;  // All cells saturated; sample stays smaller than n.
+    const size_t b = rng.NextDiscrete(feasible);
+    ++cpn[b];
+    ++copy_ops;
+    budget -= static_cast<int64_t>(backbone.partition.cells[b].size());
+  }
+
+  // Regrow: apply CPN[b] orbit copying operations per backbone cell.
+  MutableGraph regrown(backbone.graph);
+  TrackedPartition tracked(backbone.partition);
+  for (uint32_t b = 0; b < num_backbone_cells; ++b) {
+    const std::vector<VertexId> unit = backbone.partition.cells[b];
+    for (size_t rep = 0; rep < cpn[b]; ++rep) {
+      OrbitCopy(regrown, tracked, b, unit);
+    }
+  }
+  Graph sample = regrown.Freeze();
+  if (stats != nullptr) {
+    stats->backbone_vertices = backbone.graph.NumVertices();
+    stats->copy_operations = copy_ops;
+    stats->requested_vertices = target_vertices;
+    stats->sampled_vertices = sample.NumVertices();
+  }
+  return sample;
+}
+
+Result<Graph> ApproximateBackboneSample(const Graph& graph,
+                                        const VertexPartition& partition,
+                                        size_t target_vertices, Rng& rng,
+                                        const std::vector<double>* weights,
+                                        SampleStats* stats) {
+  const size_t n = graph.NumVertices();
+  if (partition.cell_of.size() != n) {
+    return Status::InvalidArgument("partition does not match graph");
+  }
+  if (n == 0) return Graph(0);
+  std::vector<double> default_weights;
+  if (weights == nullptr) {
+    default_weights = SizeAwareCellWeights(graph, partition);
+    weights = &default_weights;
+  }
+  if (weights->size() != partition.cells.size()) {
+    return Status::InvalidArgument("one weight per cell required");
+  }
+  target_vertices = std::min(target_vertices, n);
+
+  // Quotas: one per cell, then distribute the rest with probability p[i]
+  // subject to S[i] < |V'_i| (Algorithm 4, lines 1-6).
+  const size_t num_cells = partition.cells.size();
+  std::vector<size_t> quota(num_cells, 1);
+  int64_t budget = static_cast<int64_t>(target_vertices) -
+                   static_cast<int64_t>(num_cells);
+  while (budget > 0) {
+    std::vector<double> feasible(num_cells, 0.0);
+    bool any = false;
+    for (size_t i = 0; i < num_cells; ++i) {
+      if (quota[i] < partition.cells[i].size()) {
+        feasible[i] = (*weights)[i];
+        any = any || feasible[i] > 0.0;
+      }
+    }
+    if (!any) break;
+    const size_t i = rng.NextDiscrete(feasible);
+    ++quota[i];
+    --budget;
+  }
+
+  // Quota-guided DFS (Algorithm 5), iterative to survive deep graphs. Only
+  // selected vertices are expanded, as in the paper. Neighbour order is
+  // randomized so repeated draws explore different regions. If a component
+  // is exhausted before the budget, restart from a fresh unvisited root
+  // (supports disconnected releases).
+  std::vector<bool> visited(n, false);
+  std::vector<bool> selected(n, false);
+  int64_t remaining = static_cast<int64_t>(target_vertices);
+  std::vector<VertexId> roots(n);
+  for (VertexId v = 0; v < n; ++v) roots[v] = v;
+  rng.Shuffle(roots.begin(), roots.end());
+  size_t root_cursor = 0;
+  std::vector<VertexId> stack;
+  std::vector<VertexId> scratch;
+
+  while (remaining > 0 && root_cursor < roots.size()) {
+    const VertexId root = roots[root_cursor++];
+    if (visited[root]) continue;
+    visited[root] = true;
+    const uint32_t root_cell = partition.cell_of[root];
+    if (quota[root_cell] == 0) continue;  // Unselected roots are dead ends.
+    selected[root] = true;
+    --quota[root_cell];
+    --remaining;
+    stack.push_back(root);
+    while (!stack.empty() && remaining > 0) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      const auto neighbors = graph.Neighbors(v);
+      scratch.assign(neighbors.begin(), neighbors.end());
+      rng.Shuffle(scratch.begin(), scratch.end());
+      for (VertexId u : scratch) {
+        if (remaining <= 0) break;
+        if (visited[u]) continue;
+        visited[u] = true;
+        const uint32_t cell = partition.cell_of[u];
+        if (quota[cell] == 0) continue;
+        selected[u] = true;
+        --quota[cell];
+        --remaining;
+        stack.push_back(u);
+      }
+    }
+    stack.clear();
+  }
+
+  std::vector<VertexId> chosen;
+  chosen.reserve(target_vertices);
+  for (VertexId v = 0; v < n; ++v) {
+    if (selected[v]) chosen.push_back(v);
+  }
+  Graph sample = InducedSubgraph(graph, chosen);
+  if (stats != nullptr) {
+    stats->requested_vertices = target_vertices;
+    stats->sampled_vertices = sample.NumVertices();
+  }
+  return sample;
+}
+
+}  // namespace ksym

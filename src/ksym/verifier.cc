@@ -1,0 +1,43 @@
+#include "ksym/verifier.h"
+
+#include <algorithm>
+
+namespace ksym {
+
+size_t MinimumOrbitSize(const Graph& graph) {
+  if (graph.NumVertices() == 0) return 0;
+  const VertexPartition orbits = ComputeAutomorphismPartition(graph);
+  size_t min_size = graph.NumVertices();
+  for (const auto& cell : orbits.cells) {
+    min_size = std::min(min_size, cell.size());
+  }
+  return min_size;
+}
+
+bool IsKSymmetric(const Graph& graph, uint32_t k) {
+  if (graph.NumVertices() == 0) return true;
+  return MinimumOrbitSize(graph) >= k;
+}
+
+bool IsCellwiseSubAutomorphismPartition(const Graph& graph,
+                                        const VertexPartition& partition) {
+  if (partition.cell_of.size() != graph.NumVertices()) return false;
+  const VertexPartition colored_orbits =
+      ComputeAutomorphismPartition(graph, partition.cell_of);
+  // Every cell must lie inside a single orbit of the cell-preserving group;
+  // since orbits of that group are themselves inside cells, this means the
+  // two partitions coincide.
+  return colored_orbits.cells == partition.cells;
+}
+
+bool IsSupergraphOf(const Graph& big, const Graph& small) {
+  if (big.NumVertices() < small.NumVertices()) return false;
+  for (VertexId u = 0; u < small.NumVertices(); ++u) {
+    for (VertexId v : small.Neighbors(u)) {
+      if (u < v && !big.HasEdge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ksym

@@ -1,0 +1,41 @@
+// Verification utilities for the k-symmetry guarantees.
+//
+// These recompute automorphism structure from scratch (independently of the
+// anonymizer's bookkeeping) and are the ground truth the test suite checks
+// Theorems 1-2 against. Exact verification runs the full automorphism
+// search, so keep it to small and medium graphs.
+
+#ifndef KSYM_KSYM_VERIFIER_H_
+#define KSYM_KSYM_VERIFIER_H_
+
+#include <cstdint>
+
+#include "aut/orbits.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Size of the smallest orbit of Aut(G) — the graph is k-symmetric iff this
+/// is >= k (Definition 1). Exact: runs the automorphism search.
+size_t MinimumOrbitSize(const Graph& graph);
+
+/// True iff every orbit of Aut(G) has size >= k.
+bool IsKSymmetric(const Graph& graph, uint32_t k);
+
+/// Checks that `partition` is a cell-wise sub-automorphism partition of
+/// `graph`: colouring vertices by their cell, every cell must be a single
+/// orbit of the colour-preserving automorphism group (i.e. for any u, v in
+/// a cell there is an automorphism mapping u to v that maps every cell onto
+/// itself). This is the witness structure orbit copying actually produces
+/// (Lemmas 1-2 / Theorem 1); it is sufficient for Definition 2.
+bool IsCellwiseSubAutomorphismPartition(const Graph& graph,
+                                        const VertexPartition& partition);
+
+/// True iff every vertex of `small` (with id mapping `embedding` into
+/// `big`, identity if empty) keeps all its edges in `big`: the anonymized
+/// graph must be a supergraph of the original (Section 3.1).
+bool IsSupergraphOf(const Graph& big, const Graph& small);
+
+}  // namespace ksym
+
+#endif  // KSYM_KSYM_VERIFIER_H_

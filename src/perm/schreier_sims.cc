@@ -1,0 +1,138 @@
+#include "perm/schreier_sims.h"
+
+#include <algorithm>
+
+namespace ksym {
+
+StabilizerChain::StabilizerChain(size_t num_points,
+                                 const std::vector<Permutation>& generators)
+    : num_points_(num_points) {
+  for (const Permutation& g : generators) {
+    KSYM_CHECK(g.Size() == num_points_);
+    if (!g.IsIdentity()) strong_.push_back(g);
+  }
+  ExtendBase();
+  RebuildLevels();
+  while (!VerifyPass()) {
+    ExtendBase();
+    RebuildLevels();
+  }
+}
+
+void StabilizerChain::ExtendBase() {
+  for (const Permutation& g : strong_) {
+    // Does g fix every current base point?
+    bool fixes_all = true;
+    for (VertexId b : base_) {
+      if (g.Image(b) != b) {
+        fixes_all = false;
+        break;
+      }
+    }
+    if (fixes_all) {
+      // Append a point g moves (g is non-identity, so one exists).
+      for (VertexId x = 0; x < num_points_; ++x) {
+        if (g.Image(x) != x) {
+          base_.push_back(x);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void StabilizerChain::RebuildLevels() {
+  levels_.assign(base_.size(), Level{});
+  for (size_t i = 0; i < base_.size(); ++i) {
+    Level& level = levels_[i];
+    level.base_point = base_[i];
+    // Strong generators fixing b_0 .. b_{i-1}.
+    for (const Permutation& g : strong_) {
+      bool fixes_prefix = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (g.Image(base_[j]) != base_[j]) {
+          fixes_prefix = false;
+          break;
+        }
+      }
+      if (fixes_prefix) level.generators.push_back(g);
+    }
+    // Orbit BFS with transversal.
+    level.transversal.clear();
+    level.transversal.emplace(level.base_point,
+                              Permutation::Identity(num_points_));
+    std::vector<VertexId> frontier = {level.base_point};
+    size_t head = 0;
+    while (head < frontier.size()) {
+      const VertexId x = frontier[head++];
+      const Permutation tx = level.transversal.at(x);
+      for (const Permutation& s : level.generators) {
+        const VertexId y = s.Image(x);
+        if (!level.transversal.count(y)) {
+          level.transversal.emplace(y, tx.Compose(s));
+          frontier.push_back(y);
+        }
+      }
+    }
+  }
+}
+
+Permutation StabilizerChain::Sift(Permutation p, size_t level) const {
+  for (size_t i = level; i < levels_.size(); ++i) {
+    const Level& lvl = levels_[i];
+    const VertexId x = p.Image(lvl.base_point);
+    auto it = lvl.transversal.find(x);
+    if (it == lvl.transversal.end()) return p;  // Stuck: not in the group.
+    p = p.Compose(it->second.Inverse());
+  }
+  return p;
+}
+
+bool StabilizerChain::VerifyPass() {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    for (const auto& [x, tx] : level.transversal) {
+      for (const Permutation& s : level.generators) {
+        const VertexId y = s.Image(x);
+        const Permutation& ty = level.transversal.at(y);
+        // Schreier generator: t_x * s * t_y^{-1} fixes the base point.
+        Permutation schreier = tx.Compose(s).Compose(ty.Inverse());
+        Permutation residue = Sift(std::move(schreier), i + 1);
+        if (!residue.IsIdentity()) {
+          strong_.push_back(std::move(residue));
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double StabilizerChain::GroupOrder() const {
+  double order = 1.0;
+  for (const Level& level : levels_) {
+    order *= static_cast<double>(level.transversal.size());
+  }
+  return order;
+}
+
+bool StabilizerChain::Contains(const Permutation& p) const {
+  if (p.Size() != num_points_) return false;
+  return Sift(p, 0).IsIdentity();
+}
+
+std::vector<size_t> StabilizerChain::OrbitSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(levels_.size());
+  for (const Level& level : levels_) {
+    sizes.push_back(level.transversal.size());
+  }
+  return sizes;
+}
+
+double GroupOrderFromGenerators(size_t num_points,
+                                const std::vector<Permutation>& generators) {
+  return StabilizerChain(num_points, generators).GroupOrder();
+}
+
+}  // namespace ksym

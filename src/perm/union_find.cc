@@ -1,0 +1,36 @@
+#include "perm/union_find.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ksym {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  KSYM_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+size_t UnionFind::SetSize(uint32_t x) { return size_[Find(x)]; }
+
+}  // namespace ksym

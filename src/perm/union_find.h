@@ -1,0 +1,37 @@
+// Disjoint-set union with path halving and union by size.
+
+#ifndef KSYM_PERM_UNION_FIND_H_
+#define KSYM_PERM_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ksym {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Size of x's set.
+  size_t SetSize(uint32_t x);
+
+  size_t NumSets() const { return num_sets_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace ksym
+
+#endif  // KSYM_PERM_UNION_FIND_H_

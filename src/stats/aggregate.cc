@@ -1,0 +1,50 @@
+#include "stats/aggregate.h"
+
+#include "stats/distributions.h"
+#include "stats/ks.h"
+
+namespace ksym {
+
+UtilityDistance CompareUtility(const Graph& original, const Graph& sample,
+                               size_t path_pairs, Rng& rng) {
+  UtilityDistance distance;
+  distance.ks_degree =
+      KolmogorovSmirnovStatistic(DegreeValues(original), DegreeValues(sample));
+  distance.ks_path_length = KolmogorovSmirnovStatistic(
+      SampledPathLengths(original, path_pairs, rng),
+      SampledPathLengths(sample, path_pairs, rng));
+  distance.ks_clustering = KolmogorovSmirnovStatistic(
+      ClusteringValues(original), ClusteringValues(sample));
+  return distance;
+}
+
+std::vector<double> PooledKsConvergence(
+    const Graph& original, const std::vector<Graph>& samples,
+    const std::function<std::vector<double>(const Graph&)>& extract) {
+  const std::vector<double> reference = extract(original);
+  std::vector<double> pooled;
+  std::vector<double> series;
+  series.reserve(samples.size());
+  for (const Graph& sample : samples) {
+    const std::vector<double> values = extract(sample);
+    pooled.insert(pooled.end(), values.begin(), values.end());
+    series.push_back(KolmogorovSmirnovStatistic(reference, pooled));
+  }
+  return series;
+}
+
+std::vector<double> MeanKsConvergence(
+    const Graph& original, const std::vector<Graph>& samples,
+    const std::function<std::vector<double>(const Graph&)>& extract) {
+  const std::vector<double> reference = extract(original);
+  std::vector<double> series;
+  series.reserve(samples.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    sum += KolmogorovSmirnovStatistic(reference, extract(samples[i]));
+    series.push_back(sum / static_cast<double>(i + 1));
+  }
+  return series;
+}
+
+}  // namespace ksym

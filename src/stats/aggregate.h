@@ -1,0 +1,45 @@
+// Multi-sample aggregation — the analyst workflow of Section 4.3: draw
+// sample graphs from the release, measure each, aggregate across samples,
+// and compare against the original with the K-S statistic.
+
+#ifndef KSYM_STATS_AGGREGATE_H_
+#define KSYM_STATS_AGGREGATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// K-S distances between one sample graph and the original on the standard
+/// utility measures.
+struct UtilityDistance {
+  double ks_degree = 0.0;
+  double ks_path_length = 0.0;
+  double ks_clustering = 0.0;
+};
+
+/// Compares one sample against the original. Path lengths use `path_pairs`
+/// sampled pairs per graph (the paper uses 500).
+UtilityDistance CompareUtility(const Graph& original, const Graph& sample,
+                               size_t path_pairs, Rng& rng);
+
+/// Convergence series (Figure 9): for prefix sizes 1..samples.size(),
+/// the K-S statistic between the original's distribution and the *pooled*
+/// distribution of the first N samples. `extract` maps a graph to its
+/// empirical sample (e.g. DegreeValues).
+std::vector<double> PooledKsConvergence(
+    const Graph& original, const std::vector<Graph>& samples,
+    const std::function<std::vector<double>(const Graph&)>& extract);
+
+/// Running mean of per-sample K-S statistics for prefix sizes 1..N — the
+/// alternative reading of "average K-S statistic value".
+std::vector<double> MeanKsConvergence(
+    const Graph& original, const std::vector<Graph>& samples,
+    const std::function<std::vector<double>(const Graph&)>& extract);
+
+}  // namespace ksym
+
+#endif  // KSYM_STATS_AGGREGATE_H_

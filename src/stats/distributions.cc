@@ -1,0 +1,73 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+
+namespace ksym {
+
+std::vector<double> DegreeValues(const Graph& graph) {
+  std::vector<double> values(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    values[v] = static_cast<double>(graph.Degree(v));
+  }
+  return values;
+}
+
+std::vector<double> ClusteringValues(const Graph& graph) {
+  return ClusteringCoefficients(graph);
+}
+
+std::vector<double> SampledPathLengths(const Graph& graph, size_t num_pairs,
+                                       Rng& rng) {
+  std::vector<double> lengths;
+  const size_t n = graph.NumVertices();
+  if (n < 2) return lengths;
+  lengths.reserve(num_pairs);
+  // Cache BFS trees: sources repeat rarely, but hub sources are cheap to
+  // reuse when n is small relative to num_pairs.
+  size_t attempts = 0;
+  const size_t max_attempts = num_pairs * 20;
+  VertexId cached_source = kInvalidVertex;
+  std::vector<int64_t> cached_dist;
+  while (lengths.size() < num_pairs && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u != cached_source) {
+      cached_dist = BfsDistances(graph, u);
+      cached_source = u;
+    }
+    if (cached_dist[v] < 0) continue;  // Different components.
+    lengths.push_back(static_cast<double>(cached_dist[v]));
+  }
+  return lengths;
+}
+
+std::vector<size_t> Histogram(const std::vector<double>& values) {
+  std::vector<size_t> histogram;
+  for (double value : values) {
+    const size_t bin = static_cast<size_t>(std::max(0.0, std::floor(value)));
+    if (bin >= histogram.size()) histogram.resize(bin + 1, 0);
+    ++histogram[bin];
+  }
+  return histogram;
+}
+
+std::vector<size_t> BinnedHistogram(const std::vector<double>& values,
+                                    double lo, double hi, size_t bins) {
+  KSYM_CHECK(bins > 0 && hi > lo);
+  std::vector<size_t> histogram(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double value : values) {
+    double clamped = std::min(std::max(value, lo), hi);
+    size_t bin = static_cast<size_t>((clamped - lo) / width);
+    if (bin >= bins) bin = bins - 1;
+    ++histogram[bin];
+  }
+  return histogram;
+}
+
+}  // namespace ksym

@@ -1,0 +1,41 @@
+// Statistical properties of networks — the four utility measures of
+// Section 4.3: degree distribution, shortest-path-length distribution over
+// sampled pairs, transitivity (clustering-coefficient distribution), and
+// (in resilience.h) network resilience.
+
+#ifndef KSYM_STATS_DISTRIBUTIONS_H_
+#define KSYM_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Per-vertex degrees as an empirical sample (for K-S comparisons and
+/// histograms).
+std::vector<double> DegreeValues(const Graph& graph);
+
+/// Per-vertex local clustering coefficients.
+std::vector<double> ClusteringValues(const Graph& graph);
+
+/// Shortest-path lengths between `num_pairs` uniformly sampled distinct
+/// vertex pairs, following the paper's protocol (500 pairs). Pairs in
+/// different components are skipped; sampling stops early if connected
+/// pairs are too rare (after 20x oversampling attempts).
+std::vector<double> SampledPathLengths(const Graph& graph, size_t num_pairs,
+                                       Rng& rng);
+
+/// Histogram of values rounded down to integer bins; index = bin.
+std::vector<size_t> Histogram(const std::vector<double>& values);
+
+/// Histogram of values over [lo, hi] in `bins` equal-width bins (values
+/// outside are clamped); used for clustering coefficients in [0, 1].
+std::vector<size_t> BinnedHistogram(const std::vector<double>& values,
+                                    double lo, double hi, size_t bins);
+
+}  // namespace ksym
+
+#endif  // KSYM_STATS_DISTRIBUTIONS_H_

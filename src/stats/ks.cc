@@ -1,0 +1,29 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ksym {
+
+double KolmogorovSmirnovStatistic(std::vector<double> a,
+                                  std::vector<double> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+}  // namespace ksym

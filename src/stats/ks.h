@@ -1,0 +1,20 @@
+// Two-sample Kolmogorov-Smirnov statistic: the maximum vertical distance
+// between two empirical cumulative distribution functions. This is the
+// utility-distance metric of Figures 9 and 11.
+
+#ifndef KSYM_STATS_KS_H_
+#define KSYM_STATS_KS_H_
+
+#include <vector>
+
+namespace ksym {
+
+/// D = sup_x |F_a(x) - F_b(x)| over the empirical CDFs of the two samples.
+/// Either sample being empty yields 1.0 (maximal distance) unless both are
+/// empty (0.0).
+double KolmogorovSmirnovStatistic(std::vector<double> a,
+                                  std::vector<double> b);
+
+}  // namespace ksym
+
+#endif  // KSYM_STATS_KS_H_

@@ -1,0 +1,41 @@
+#include "stats/resilience.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace ksym {
+
+std::vector<std::pair<double, double>> ResilienceCurve(const Graph& graph,
+                                                       size_t num_points,
+                                                       double max_fraction) {
+  std::vector<std::pair<double, double>> curve;
+  const size_t n = graph.NumVertices();
+  if (n == 0 || num_points == 0) return curve;
+
+  // Removal order: descending original degree.
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+    const size_t da = graph.Degree(a);
+    const size_t db = graph.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+
+  curve.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    const double fraction =
+        num_points == 1 ? 0.0
+                        : max_fraction * static_cast<double>(i) /
+                              static_cast<double>(num_points - 1);
+    const size_t removed = static_cast<size_t>(fraction * static_cast<double>(n));
+    std::vector<VertexId> survivors(order.begin() + removed, order.end());
+    std::sort(survivors.begin(), survivors.end());
+    const Graph sub = InducedSubgraph(graph, survivors);
+    const double lcc = static_cast<double>(LargestComponentSize(sub));
+    curve.emplace_back(fraction, lcc / static_cast<double>(n));
+  }
+  return curve;
+}
+
+}  // namespace ksym

@@ -1,0 +1,24 @@
+// Network resilience under targeted attack (Albert, Jeong & Barabasi 2000),
+// the fourth utility measure of Section 4.3: the fraction of vertices in
+// the largest connected component as vertices are removed in descending
+// degree order.
+
+#ifndef KSYM_STATS_RESILIENCE_H_
+#define KSYM_STATS_RESILIENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ksym {
+
+/// Points (fraction_removed, |LCC| / |V|) for `num_points` evenly spaced
+/// removal fractions in [0, max_fraction]. Vertices are removed in
+/// descending order of their original degree (ties by id).
+std::vector<std::pair<double, double>> ResilienceCurve(
+    const Graph& graph, size_t num_points = 21, double max_fraction = 0.6);
+
+}  // namespace ksym
+
+#endif  // KSYM_STATS_RESILIENCE_H_

@@ -1,0 +1,89 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+
+namespace ksym {
+
+GraphSummary ComputeGraphSummary(const Graph& graph, Rng& rng,
+                                 size_t exact_bfs_limit,
+                                 size_t sample_sources) {
+  GraphSummary summary;
+  const size_t n = graph.NumVertices();
+  summary.num_vertices = n;
+  summary.num_edges = graph.NumEdges();
+  if (n == 0) return summary;
+
+  summary.largest_component_fraction =
+      static_cast<double>(LargestComponentSize(graph)) /
+      static_cast<double>(n);
+
+  // Diameter and average path length via BFS (exact or sampled sources).
+  std::vector<VertexId> sources;
+  if (n <= exact_bfs_limit) {
+    sources.resize(n);
+    for (VertexId v = 0; v < n; ++v) sources[v] = v;
+  } else {
+    for (size_t i = 0; i < sample_sources; ++i) {
+      sources.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+    }
+  }
+  uint64_t path_sum = 0;
+  uint64_t path_count = 0;
+  size_t diameter = 0;
+  for (VertexId source : sources) {
+    const auto dist = BfsDistances(graph, source);
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] > 0) {
+        path_sum += static_cast<uint64_t>(dist[v]);
+        ++path_count;
+        diameter = std::max(diameter, static_cast<size_t>(dist[v]));
+      }
+    }
+  }
+  summary.diameter = diameter;
+  summary.average_path_length =
+      path_count == 0 ? 0.0
+                      : static_cast<double>(path_sum) /
+                            static_cast<double>(path_count);
+
+  // Global clustering: 3 * triangles / number of connected triples.
+  const uint64_t triangles = TotalTriangles(graph);
+  uint64_t triples = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t d = graph.Degree(v);
+    triples += d * (d - 1) / 2;
+  }
+  summary.global_clustering =
+      triples == 0 ? 0.0
+                   : 3.0 * static_cast<double>(triangles) /
+                         static_cast<double>(triples);
+
+  // Degree assortativity: Pearson correlation of (deg(u), deg(v)) over
+  // directed edge endpoints.
+  if (graph.NumEdges() > 0) {
+    double sum_x = 0;
+    double sum_xx = 0;
+    double sum_xy = 0;
+    double count = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      const double du = static_cast<double>(graph.Degree(u));
+      for (VertexId v : graph.Neighbors(u)) {
+        const double dv = static_cast<double>(graph.Degree(v));
+        sum_x += du;
+        sum_xx += du * du;
+        sum_xy += du * dv;
+        count += 1;
+      }
+    }
+    const double mean = sum_x / count;
+    const double var = sum_xx / count - mean * mean;
+    const double cov = sum_xy / count - mean * mean;
+    summary.degree_assortativity = var <= 1e-12 ? 0.0 : cov / var;
+  }
+  return summary;
+}
+
+}  // namespace ksym

@@ -1,0 +1,43 @@
+// Whole-graph summary statistics: diameter, average shortest path length,
+// global clustering, degree assortativity.
+//
+// Used by the publish-pipeline examples and by the skeleton bench that
+// checks the Section 4.1 claim (via reference [15]) that the structural
+// skeleton preserves diameter, average path length and hub structure.
+
+#ifndef KSYM_STATS_SUMMARY_H_
+#define KSYM_STATS_SUMMARY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace ksym {
+
+struct GraphSummary {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  /// Largest eccentricity within the largest connected component.
+  size_t diameter = 0;
+  /// Mean shortest-path length over connected pairs (exact or sampled).
+  double average_path_length = 0.0;
+  /// Global clustering coefficient: 3 * triangles / open+closed triads.
+  double global_clustering = 0.0;
+  /// Pearson correlation of endpoint degrees over edges; in [-1, 1].
+  double degree_assortativity = 0.0;
+  /// |LCC| / |V|.
+  double largest_component_fraction = 0.0;
+};
+
+/// Computes the summary. For graphs with more than `exact_bfs_limit`
+/// vertices, diameter and average path length are estimated from
+/// `sample_sources` BFS trees rooted at random vertices (diameter is then a
+/// lower bound); below the limit they are exact.
+GraphSummary ComputeGraphSummary(const Graph& graph, Rng& rng,
+                                 size_t exact_bfs_limit = 1000,
+                                 size_t sample_sources = 64);
+
+}  // namespace ksym
+
+#endif  // KSYM_STATS_SUMMARY_H_

@@ -1,0 +1,226 @@
+// Tests for the anonymization procedure (Algorithm 1, Theorem 2) and the
+// f-symmetry / hub-exclusion generalization (Section 5.2).
+
+#include "ksym/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ksym/verifier.h"
+
+namespace ksym {
+namespace {
+
+Graph Figure3Graph() {
+  GraphBuilder b(8);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 6);
+  b.AddEdge(5, 7);
+  b.AddEdge(6, 7);
+  b.AddEdge(3, 4);
+  return b.Build();
+}
+
+TEST(AnonymizerTest, KMustBePositive) {
+  AnonymizationOptions options;
+  options.k = 0;
+  EXPECT_FALSE(Anonymize(MakePath(3), options).ok());
+}
+
+TEST(AnonymizerTest, KOneIsIdentity) {
+  AnonymizationOptions options;
+  options.k = 1;
+  const auto result = Anonymize(Figure3Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph == Figure3Graph());
+  EXPECT_EQ(result->vertices_added, 0u);
+  EXPECT_EQ(result->edges_added, 0u);
+}
+
+TEST(AnonymizerTest, Figure5aTwoSymmetric) {
+  // Example 5, k = 2: only the singleton orbits {v3} and {v8} are copied:
+  // +2 vertices.
+  AnonymizationOptions options;
+  options.k = 2;
+  const auto result = Anonymize(Figure3Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.NumVertices(), 10u);
+  EXPECT_EQ(result->vertices_added, 2u);
+  EXPECT_EQ(result->orbits_copied, 2u);
+  EXPECT_EQ(result->orbits_satisfied, 3u);
+  EXPECT_TRUE(IsKSymmetric(result->graph, 2));
+  EXPECT_TRUE(IsSupergraphOf(result->graph, Figure3Graph()));
+}
+
+TEST(AnonymizerTest, Figure5bThreeSymmetric) {
+  // Example 5, k = 3: none of the 5 orbits satisfies the constraint, so
+  // all are copied. The three size-2 orbits get one copy each (+2 each);
+  // the two singletons get two copies each (+2 each): 10 new vertices.
+  AnonymizationOptions options;
+  options.k = 3;
+  const auto result = Anonymize(Figure3Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->orbits_copied, 5u);
+  EXPECT_EQ(result->vertices_added, 10u);
+  EXPECT_TRUE(IsKSymmetric(result->graph, 3));
+  EXPECT_TRUE(IsSupergraphOf(result->graph, Figure3Graph()));
+}
+
+TEST(AnonymizerTest, ReleasedPartitionIsSubAutomorphism) {
+  // Theorem 1: the released partition is a sub-automorphism partition.
+  AnonymizationOptions options;
+  options.k = 3;
+  const auto result = Anonymize(Figure3Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(
+      IsCellwiseSubAutomorphismPartition(result->graph, result->partition));
+  for (const auto& cell : result->partition.cells) {
+    EXPECT_GE(cell.size(), 3u);
+  }
+}
+
+TEST(AnonymizerTest, RandomGraphsBecomeKSymmetric) {
+  Rng rng(53);
+  for (uint32_t k : {2u, 3u, 5u}) {
+    const Graph g = ErdosRenyiGnm(24, 40, rng);
+    AnonymizationOptions options;
+    options.k = k;
+    const auto result = Anonymize(g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(IsKSymmetric(result->graph, k)) << "k=" << k;
+    EXPECT_TRUE(IsSupergraphOf(result->graph, g));
+    EXPECT_EQ(result->graph.NumVertices(),
+              g.NumVertices() + result->vertices_added);
+  }
+}
+
+TEST(AnonymizerTest, VertexBoundFromComplexityAnalysis) {
+  // Section 3.3: at most (k-1) |V(G)| vertices are added.
+  Rng rng(59);
+  const Graph g = ErdosRenyiGnm(30, 45, rng);
+  for (uint32_t k : {2u, 4u, 6u}) {
+    AnonymizationOptions options;
+    options.k = k;
+    const auto result = Anonymize(g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->vertices_added, (k - 1) * g.NumVertices());
+  }
+}
+
+TEST(AnonymizerTest, AlreadySymmetricGraphUntouched) {
+  // C_8 is vertex-transitive: one orbit of size 8 satisfies any k <= 8.
+  AnonymizationOptions options;
+  options.k = 5;
+  const auto result = Anonymize(MakeCycle(8), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices_added, 0u);
+  EXPECT_EQ(result->orbits_satisfied, 1u);
+}
+
+TEST(AnonymizerTest, HubExclusionSkipsHighDegreeOrbits) {
+  const Graph star = MakeStar(10);  // Hub degree 9, leaves degree 1.
+  AnonymizationOptions options;
+  options.k = 3;
+  options.requirement = HubExclusionRequirement(3, /*degree_threshold=*/5);
+  const auto result = Anonymize(star, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->orbits_excluded, 1u);   // The hub.
+  EXPECT_EQ(result->orbits_satisfied, 1u);  // 9 leaves >= 3 already.
+  EXPECT_EQ(result->vertices_added, 0u);
+}
+
+TEST(AnonymizerTest, HubExclusionReducesCost) {
+  // A star with an asymmetric pendant chain: the hub is expensive to copy.
+  GraphBuilder b(12);
+  for (VertexId leaf = 1; leaf <= 9; ++leaf) b.AddEdge(0, leaf);
+  b.AddEdge(9, 10);
+  b.AddEdge(10, 11);
+  const Graph g = b.Build();
+
+  AnonymizationOptions full;
+  full.k = 4;
+  const auto with_hub = Anonymize(g, full);
+  ASSERT_TRUE(with_hub.ok());
+
+  AnonymizationOptions excluded;
+  excluded.k = 4;
+  excluded.requirement = HubExclusionRequirement(4, /*degree_threshold=*/5);
+  const auto without_hub = Anonymize(g, excluded);
+  ASSERT_TRUE(without_hub.ok());
+
+  EXPECT_LT(without_hub->edges_added, with_hub->edges_added);
+  EXPECT_LT(without_hub->vertices_added, with_hub->vertices_added);
+}
+
+TEST(AnonymizerTest, DegreeThresholdForFraction) {
+  const Graph star = MakeStar(100);  // One vertex of degree 99.
+  // Excluding the top 1% excludes exactly the hub.
+  const size_t threshold = DegreeThresholdForExcludedFraction(star, 0.01);
+  EXPECT_LT(threshold, 99u);
+  EXPECT_GE(threshold, 1u);
+  // Fraction 0 excludes nothing.
+  EXPECT_EQ(DegreeThresholdForExcludedFraction(star, 0.0),
+            std::numeric_limits<size_t>::max());
+}
+
+TEST(AnonymizerTest, TdvPartitionOptionWorksOnTrees) {
+  // On trees TDV = Orb, so the TDV-based anonymization is exact.
+  const Graph tree = MakeBalancedTree(2, 3);
+  AnonymizationOptions options;
+  options.k = 2;
+  options.use_total_degree_partition = true;
+  const auto result = Anonymize(tree, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsKSymmetric(result->graph, 2));
+}
+
+TEST(AnonymizerTest, TdvPitfallOnRegularRigidGraph) {
+  // Section 7's approximation is only sound when TDV(G) = Orb(G). The
+  // Frucht graph (3-regular, rigid) is the canonical counterexample: TDV is
+  // the unit partition (size 12 >= k, so the anonymizer does nothing) but
+  // every orbit is a singleton — the output is NOT k-symmetric. This test
+  // documents the caveat; bench_ablation_tdv is the check a publisher
+  // should run before trusting use_total_degree_partition.
+  GraphBuilder b(12);
+  for (int i = 0; i < 12; ++i) b.AddEdge(i, (i + 1) % 12);
+  const std::pair<int, int> chords[] = {{0, 7}, {1, 11}, {2, 10},
+                                        {3, 5}, {4, 9},  {6, 8}};
+  for (const auto& [u, v] : chords) b.AddEdge(u, v);
+  const Graph frucht = b.Build();
+
+  AnonymizationOptions options;
+  options.k = 2;
+  options.use_total_degree_partition = true;
+  const auto release = Anonymize(frucht, options);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->vertices_added, 0u);          // TDV saw one big cell.
+  EXPECT_FALSE(IsKSymmetric(release->graph, 2));   // But the graph is rigid.
+
+  // The exact partition does the right thing.
+  options.use_total_degree_partition = false;
+  const auto exact = Anonymize(frucht, options);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(IsKSymmetric(exact->graph, 2));
+}
+
+TEST(AnonymizerTest, GeneralFSymmetryRequirement) {
+  // Per-orbit requirement: degree-1 orbits need 4 copies, others 2.
+  const Graph g = Figure3Graph();
+  AnonymizationOptions options;
+  options.requirement = [](const std::vector<VertexId>&, size_t degree) {
+    return degree == 1 ? 4u : 2u;
+  };
+  const auto result = Anonymize(g, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cell : result->partition.cells) {
+    const size_t degree = result->graph.Degree(cell.front());
+    EXPECT_GE(cell.size(), degree == 1 ? 4u : 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,202 @@
+// Tests for structural measures and re-identification statistics
+// (Section 2.2, Figure 2 machinery).
+
+#include <gtest/gtest.h>
+
+#include "attack/measures.h"
+#include "attack/reidentification.h"
+#include "graph/generators.h"
+#include "ksym/anonymizer.h"
+
+namespace ksym {
+namespace {
+
+// The paper's Figure 1(b) reconstruction (see orbits_test).
+Graph Figure1Graph() {
+  GraphBuilder b(8);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(1, 4);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 7);
+  b.AddEdge(5, 6);
+  b.AddEdge(6, 7);
+  return b.Build();
+}
+
+TEST(MeasuresTest, DegreePartitionGroupsByDegree) {
+  const Graph g = MakeStar(5);
+  const VertexPartition p = PartitionByMeasure(g, DegreeMeasure());
+  EXPECT_EQ(p.NumCells(), 2u);
+  EXPECT_EQ(p.CellSizeOf(0), 1u);  // Hub.
+  EXPECT_EQ(p.CellSizeOf(1), 4u);  // Leaves.
+}
+
+TEST(MeasuresTest, TrianglePartition) {
+  // Triangle with a tail: vertices on the triangle have tri=1, the tail 0.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  const VertexPartition p = PartitionByMeasure(b.Build(), TriangleMeasure());
+  EXPECT_EQ(p.cell_of[0], p.cell_of[1]);
+  EXPECT_EQ(p.cell_of[0], p.cell_of[2]);
+  EXPECT_NE(p.cell_of[0], p.cell_of[3]);
+}
+
+TEST(MeasuresTest, NeighborDegreeSequenceRefinesDegree) {
+  // Measure-induced partitions: Deg(v) always refines deg(v).
+  Rng rng(109);
+  const Graph g = ErdosRenyiGnm(40, 80, rng);
+  const VertexPartition by_degree = PartitionByMeasure(g, DegreeMeasure());
+  const VertexPartition by_nds =
+      PartitionByMeasure(g, NeighborDegreeSequenceMeasure());
+  // Same Deg(v) implies same deg(v) (sequence length).
+  for (const auto& cell : by_nds.cells) {
+    const uint32_t degree_cell = by_degree.cell_of[cell.front()];
+    for (VertexId v : cell) EXPECT_EQ(by_degree.cell_of[v], degree_cell);
+  }
+}
+
+TEST(MeasuresTest, CombinedRefinesBothComponents) {
+  Rng rng(113);
+  const Graph g = BarabasiAlbert(60, 2, rng);
+  const VertexPartition combined = PartitionByMeasure(g, CombinedMeasure());
+  const VertexPartition by_tri = PartitionByMeasure(g, TriangleMeasure());
+  const VertexPartition by_nds =
+      PartitionByMeasure(g, NeighborDegreeSequenceMeasure());
+  EXPECT_GE(combined.NumCells(), by_tri.NumCells());
+  EXPECT_GE(combined.NumCells(), by_nds.NumCells());
+}
+
+TEST(MeasuresTest, NeighborhoodRefinesDegreeAndTriangle) {
+  Rng rng(211);
+  const Graph g = BarabasiAlbert(50, 2, rng);
+  const VertexPartition by_deg = PartitionByMeasure(g, DegreeMeasure());
+  const VertexPartition by_tri = PartitionByMeasure(g, TriangleMeasure());
+  const VertexPartition by_nbh = PartitionByMeasure(g, NeighborhoodMeasure());
+  // Vertices equal under the neighborhood class share degree and triangles.
+  for (const auto& cell : by_nbh.cells) {
+    for (VertexId v : cell) {
+      EXPECT_EQ(by_deg.cell_of[v], by_deg.cell_of[cell.front()]);
+      EXPECT_EQ(by_tri.cell_of[v], by_tri.cell_of[cell.front()]);
+    }
+  }
+}
+
+TEST(MeasuresTest, NeighborhoodDistinguishesLocalStructure) {
+  // Two degree-2 vertices, one on a triangle and one on a path, are
+  // indistinguishable by degree but separated by the neighborhood measure.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);  // Triangle 0-1-2.
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);  // Tail; vertex 4 has degree 2, no triangle.
+  const Graph g = b.Build();
+  const VertexPartition by_deg = PartitionByMeasure(g, DegreeMeasure());
+  const VertexPartition by_nbh = PartitionByMeasure(g, NeighborhoodMeasure());
+  EXPECT_EQ(by_deg.cell_of[0], by_deg.cell_of[4]);  // Both degree 2.
+  EXPECT_NE(by_nbh.cell_of[0], by_nbh.cell_of[4]);
+}
+
+TEST(MeasuresTest, MeasurePartitionsAreCoarserThanOrbits) {
+  // Theory: Orb(v) is contained in every candidate set, so every measure
+  // partition is coarser than Orb(G).
+  const Graph g = Figure1Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  for (const auto& measure :
+       {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
+        NeighborhoodMeasure(), CombinedMeasure()}) {
+    const VertexPartition p = PartitionByMeasure(g, measure);
+    for (const auto& orbit : orbits.cells) {
+      const uint32_t cell = p.cell_of[orbit.front()];
+      for (VertexId v : orbit) {
+        EXPECT_EQ(p.cell_of[v], cell) << measure.name;
+      }
+    }
+  }
+}
+
+TEST(MeasuresTest, CandidateSetExample1) {
+  // Example 1: knowledge P2 "Bob has 2 neighbours with degree 1" uniquely
+  // identifies Bob (vertex 1 in our 0-indexed reconstruction). The
+  // neighbour-degree-sequence measure is at least that precise.
+  const Graph g = Figure1Graph();
+  const auto candidates =
+      CandidateSet(g, NeighborDegreeSequenceMeasure(), 1);
+  EXPECT_EQ(candidates, (std::vector<VertexId>{1}));
+}
+
+TEST(ReidentificationTest, PerfectMeasureScoresOne) {
+  const Graph g = Figure1Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const ReidentificationStats stats = CompareToOrbits(orbits, orbits);
+  EXPECT_DOUBLE_EQ(stats.r_f, 1.0);
+  EXPECT_DOUBLE_EQ(stats.s_f, 1.0);
+}
+
+TEST(ReidentificationTest, WeakMeasureScoresLow) {
+  // The unit partition has no singletons and maximal pair count.
+  const Graph g = Figure1Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition unit = VertexPartition::FromCells(
+      g.NumVertices(), {{0, 1, 2, 3, 4, 5, 6, 7}});
+  const ReidentificationStats stats = CompareToOrbits(unit, orbits);
+  EXPECT_DOUBLE_EQ(stats.r_f, 0.0);
+  EXPECT_LT(stats.s_f, 0.2);
+}
+
+TEST(ReidentificationTest, StatsAreInUnitInterval) {
+  Rng rng(127);
+  const Graph g = ErdosRenyiGnm(50, 90, rng);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  for (const auto& measure :
+       {DegreeMeasure(), TriangleMeasure(), CombinedMeasure()}) {
+    const ReidentificationStats stats = EvaluateMeasure(g, measure, orbits);
+    EXPECT_GE(stats.r_f, 0.0);
+    EXPECT_LE(stats.r_f, 1.0);
+    EXPECT_GE(stats.s_f, 0.0);
+    EXPECT_LE(stats.s_f, 1.0);
+  }
+}
+
+TEST(ReidentificationTest, CombinedDominatesSingleMeasures) {
+  // The monotonicity behind Figure 2: refining knowledge can only increase
+  // re-identification power.
+  Rng rng(131);
+  const Graph g = BarabasiAlbert(80, 2, rng);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const auto deg = EvaluateMeasure(g, DegreeMeasure(), orbits);
+  const auto tri = EvaluateMeasure(g, TriangleMeasure(), orbits);
+  const auto combined = EvaluateMeasure(g, CombinedMeasure(), orbits);
+  EXPECT_GE(combined.r_f, deg.r_f);
+  EXPECT_GE(combined.r_f, tri.r_f);
+  EXPECT_GE(combined.s_f, deg.s_f);
+  EXPECT_GE(combined.s_f, tri.s_f);
+}
+
+TEST(ReidentificationTest, KSymmetricGraphResistsAllMeasures) {
+  // After k-symmetry anonymization no measure has any unique
+  // re-identification power, and every candidate set has >= k members.
+  const Graph g = Figure1Graph();
+  AnonymizationOptions options;
+  options.k = 3;
+  const auto release = Anonymize(g, options);
+  ASSERT_TRUE(release.ok());
+  for (const auto& measure :
+       {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
+        NeighborhoodMeasure(), CombinedMeasure()}) {
+    const VertexPartition p = PartitionByMeasure(release->graph, measure);
+    for (const auto& cell : p.cells) {
+      EXPECT_GE(cell.size(), 3u) << measure.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ksym

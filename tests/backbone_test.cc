@@ -1,0 +1,150 @@
+// Tests for graph backbone detection (Algorithm 2, Theorems 3-4).
+
+#include "ksym/backbone.h"
+
+#include <gtest/gtest.h>
+
+#include "aut/isomorphism.h"
+#include "graph/generators.h"
+#include "ksym/anonymizer.h"
+
+namespace ksym {
+namespace {
+
+Graph Figure3Graph() {
+  GraphBuilder b(8);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 6);
+  b.AddEdge(5, 7);
+  b.AddEdge(6, 7);
+  b.AddEdge(3, 4);
+  return b.Build();
+}
+
+TEST(BackboneTest, StarCollapsesToSingleEdge) {
+  // All leaves are mutual orbit-copies: the backbone of a star under
+  // Orb(G) is one hub plus one leaf.
+  const Graph star = MakeStar(8);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  const BackboneResult backbone = ComputeBackbone(star, orbits);
+  EXPECT_EQ(backbone.graph.NumVertices(), 2u);
+  EXPECT_EQ(backbone.graph.NumEdges(), 1u);
+  EXPECT_EQ(backbone.removed_vertices, 6u);
+}
+
+TEST(BackboneTest, RigidGraphIsItsOwnBackbone) {
+  // A path has orbits {ends}, {next-to-ends}, ...; the two ends are NOT
+  // L(V)-copies (different external neighbours), so nothing reduces.
+  const Graph p5 = MakePath(5);
+  const VertexPartition orbits = ComputeAutomorphismPartition(p5);
+  const BackboneResult backbone = ComputeBackbone(p5, orbits);
+  EXPECT_EQ(backbone.graph.NumVertices(), 5u);
+  EXPECT_EQ(backbone.removed_vertices, 0u);
+}
+
+TEST(BackboneTest, Figure7aComponentsWithSharedNeighborsReduce) {
+  // Figure 7(a)-style: two single-vertex components in one cell sharing the
+  // same external neighbour are copies; one is removed.
+  GraphBuilder b(5);
+  b.AddEdge(0, 2);  // Cell {0, 1} hangs off vertex 2.
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);  // Tail of length 2 keeps 3 out of the pendant orbit.
+  b.AddEdge(3, 4);
+  const Graph g = b.Build();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  EXPECT_EQ(backbone.removed_vertices, 1u);
+  EXPECT_EQ(backbone.graph.NumVertices(), 4u);  // The path 0-2-3-4.
+}
+
+TEST(BackboneTest, Figure7bComponentsWithDisjointNeighborsDoNot) {
+  // Figure 7(b)-style: two pendant vertices in one orbit but attached to
+  // *different* (symmetric) hubs are not L(V)-copies; nothing reduces in
+  // their cell — and consequently nothing anywhere.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);  // 0 pendant on 1.
+  b.AddEdge(2, 3);  // 2 pendant on 3 (wait: make middle edge)
+  b.AddEdge(1, 3);  // Connect the two hubs: path 0-1-3-2.
+  const Graph g = b.Build();
+  // Orbits: {0, 2} (pendants), {1, 3}.
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  ASSERT_EQ(orbits.NumCells(), 2u);
+  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  EXPECT_EQ(backbone.removed_vertices, 0u);
+}
+
+TEST(BackboneTest, AnonymizedGraphReducesToOriginalBackbone) {
+  // Theorem 4: orbit copying preserves the backbone. B(G') == B(G).
+  const Graph g = Figure3Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const BackboneResult original_backbone = ComputeBackbone(g, orbits);
+
+  for (uint32_t k : {2u, 3u, 5u}) {
+    AnonymizationOptions options;
+    options.k = k;
+    const auto anonymized = Anonymize(g, options);
+    ASSERT_TRUE(anonymized.ok());
+    const BackboneResult backbone =
+        ComputeBackbone(anonymized->graph, anonymized->partition);
+    EXPECT_TRUE(AreIsomorphic(backbone.graph, original_backbone.graph))
+        << "k=" << k;
+  }
+}
+
+TEST(BackboneTest, PartitionRestrictedConsistently) {
+  const Graph star = MakeStar(6);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  const BackboneResult backbone = ComputeBackbone(star, orbits);
+  EXPECT_EQ(backbone.partition.cells.size(), 2u);
+  EXPECT_EQ(backbone.kept.size(), backbone.graph.NumVertices());
+  // kept maps backbone ids to original ids; cell structure matches.
+  for (size_t i = 0; i < backbone.kept.size(); ++i) {
+    const uint32_t original_cell = orbits.cell_of[backbone.kept[i]];
+    for (size_t j = 0; j < backbone.kept.size(); ++j) {
+      if (backbone.partition.cell_of[i] == backbone.partition.cell_of[j]) {
+        EXPECT_EQ(orbits.cell_of[backbone.kept[j]], original_cell);
+      }
+    }
+  }
+}
+
+TEST(BackboneTest, MultiOrbitSubstructuresDoNotReduce) {
+  // Figure 6's S1/S2 distinction between backbone and quotient: an
+  // automorphic substructure spanning *several* orbits cannot be removed by
+  // the single-orbit reduction operation. Hub 0 with two pendant leaves
+  // (1, 2) and two pendant length-2 arms (3-4, 5-6): the leaves are
+  // single-orbit copies (reduce), but each arm spans the two orbits
+  // {3,5} and {4,6}, and within each of those cells the members have
+  // different external neighbours — the arms stay.
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(0, 5);
+  b.AddEdge(5, 6);
+  const Graph g = b.Build();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  EXPECT_EQ(backbone.removed_vertices, 1u);     // One of the two leaves.
+  EXPECT_EQ(backbone.graph.NumVertices(), 6u);  // Both arms preserved.
+}
+
+TEST(BackboneTest, EmptyAndTrivialInputs) {
+  const Graph empty(0);
+  const BackboneResult backbone =
+      ComputeBackbone(empty, VertexPartition::FromCells(0, {}));
+  EXPECT_EQ(backbone.graph.NumVertices(), 0u);
+
+  const Graph isolated(3);
+  const VertexPartition orbits = ComputeAutomorphismPartition(isolated);
+  const BackboneResult b2 = ComputeBackbone(isolated, orbits);
+  EXPECT_EQ(b2.graph.NumVertices(), 1u);  // Three copies of one vertex.
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,196 @@
+// Tests for the baselines: naive anonymization, random perturbation,
+// k-degree anonymity (Liu-Terzi).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "aut/isomorphism.h"
+#include "perm/permutation.h"
+#include "baseline/kcopy.h"
+#include "baseline/kdegree.h"
+#include "baseline/naive.h"
+#include "baseline/perturbation.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "ksym/verifier.h"
+
+namespace ksym {
+namespace {
+
+TEST(NaiveTest, ProducesIsomorphicGraph) {
+  Rng rng(173);
+  const Graph g = MakePetersen();
+  const NaiveAnonymization naive = NaiveAnonymize(g, rng);
+  EXPECT_TRUE(AreIsomorphic(g, naive.graph));
+  EXPECT_TRUE(IsValidPermutation(naive.pseudonym));
+}
+
+TEST(NaiveTest, PseudonymMapsEdges) {
+  Rng rng(179);
+  const Graph g = MakeCycle(10);
+  const NaiveAnonymization naive = NaiveAnonymize(g, rng);
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_TRUE(naive.graph.HasEdge(naive.pseudonym[u], naive.pseudonym[v]));
+  }
+}
+
+TEST(PerturbationTest, ZeroFractionIsIdentity) {
+  Rng rng(181);
+  const Graph g = MakePetersen();
+  const auto result = RandomEdgePerturbation(g, 0.0, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph == g);
+}
+
+TEST(PerturbationTest, PreservesEdgeCount) {
+  Rng rng(191);
+  const Graph g = ErdosRenyiGnm(50, 100, rng);
+  const auto result = RandomEdgePerturbation(g, 0.2, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges_deleted, 20u);
+  EXPECT_EQ(result->edges_added, 20u);
+  EXPECT_EQ(result->graph.NumEdges(), g.NumEdges());
+}
+
+TEST(PerturbationTest, ChangesStructure) {
+  Rng rng(193);
+  const Graph g = MakeCycle(30);
+  const auto result = RandomEdgePerturbation(g, 0.5, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->graph == g);
+}
+
+TEST(PerturbationTest, RejectsBadFraction) {
+  Rng rng(197);
+  EXPECT_FALSE(RandomEdgePerturbation(MakeCycle(5), -0.1, rng).ok());
+  EXPECT_FALSE(RandomEdgePerturbation(MakeCycle(5), 1.5, rng).ok());
+}
+
+TEST(DegreeSequenceDpTest, AlreadyAnonymousIsFree) {
+  // Four vertices of equal degree: k=2 needs no increase.
+  const auto targets = AnonymizeDegreeSequence({3, 3, 3, 3}, 2);
+  EXPECT_EQ(targets, (std::vector<size_t>{3, 3, 3, 3}));
+}
+
+TEST(DegreeSequenceDpTest, GroupsOfAtLeastK) {
+  const std::vector<size_t> degrees = {5, 4, 3, 2, 1, 1};
+  for (uint32_t k : {2u, 3u}) {
+    const auto targets = AnonymizeDegreeSequence(degrees, k);
+    // Targets dominate inputs.
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      EXPECT_GE(targets[i], degrees[i]);
+    }
+    // Every target value occurs at least k times.
+    std::map<size_t, size_t> mult;
+    for (size_t t : targets) ++mult[t];
+    for (const auto& [value, count] : mult) {
+      (void)value;
+      EXPECT_GE(count, k);
+    }
+  }
+}
+
+TEST(DegreeSequenceDpTest, OptimalCostForKnownCase) {
+  // Degrees {4, 2, 2, 1}, k=2: best grouping {4,2},{2,1} costs 2+1=3;
+  // one group {4,2,2,1} costs 0+2+2+3=7. DP must pick 3.
+  const auto targets = AnonymizeDegreeSequence({4, 2, 2, 1}, 2);
+  uint64_t cost = 0;
+  const std::vector<size_t> degrees = {4, 2, 2, 1};
+  for (size_t i = 0; i < degrees.size(); ++i) cost += targets[i] - degrees[i];
+  EXPECT_EQ(cost, 3u);
+}
+
+TEST(KDegreeTest, OutputIsKDegreeAnonymousSupergraph) {
+  Rng rng(199);
+  for (uint32_t k : {2u, 3u, 5u}) {
+    const Graph g = BarabasiAlbert(60, 2, rng);
+    const auto result = KDegreeAnonymize(g, k, rng);
+    ASSERT_TRUE(result.ok()) << "k=" << k;
+    EXPECT_TRUE(IsKDegreeAnonymous(result->graph, k));
+    // Supergraph: all original edges present.
+    for (const auto& [u, v] : g.Edges()) {
+      EXPECT_TRUE(result->graph.HasEdge(u, v));
+    }
+    EXPECT_EQ(result->graph.NumEdges(), g.NumEdges() + result->edges_added);
+  }
+}
+
+TEST(KDegreeTest, KOneIsIdentity) {
+  Rng rng(211);
+  const Graph g = MakePath(7);
+  const auto result = KDegreeAnonymize(g, 1, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph == g);
+}
+
+TEST(KDegreeTest, RejectsTooFewVertices) {
+  Rng rng(223);
+  EXPECT_FALSE(KDegreeAnonymize(MakePath(3), 5, rng).ok());
+}
+
+TEST(KDegreeTest, IsKDegreeAnonymousChecker) {
+  EXPECT_TRUE(IsKDegreeAnonymous(MakeCycle(6), 6));   // All degree 2.
+  EXPECT_FALSE(IsKDegreeAnonymous(MakeStar(5), 2));   // Unique hub degree.
+  EXPECT_TRUE(IsKDegreeAnonymous(MakeStar(5), 1));
+}
+
+TEST(KDegreeTest, SkewedGraphStillRealizable) {
+  Rng rng(227);
+  // A star plus scattered edges: the hub forces big degree raises.
+  GraphBuilder b(30);
+  for (VertexId v = 1; v < 20; ++v) b.AddEdge(0, v);
+  b.AddEdge(20, 21);
+  b.AddEdge(22, 23);
+  b.AddEdge(24, 25);
+  const Graph g = b.Build();
+  const auto result = KDegreeAnonymize(g, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsKDegreeAnonymous(result->graph, 3));
+}
+
+TEST(KCopyTest, BuildsDisjointCopies) {
+  const Graph g = MakePetersen();
+  const auto result = KCopyAnonymize(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.NumVertices(), 30u);
+  EXPECT_EQ(result->graph.NumEdges(), 45u);
+  EXPECT_EQ(result->vertices_added, 20u);
+  EXPECT_EQ(result->edges_added, 30u);
+  // Copy c of edge (u, v) exists; no cross-copy edges.
+  for (const auto& [u, v] : g.Edges()) {
+    for (VertexId c = 0; c < 3; ++c) {
+      EXPECT_TRUE(result->graph.HasEdge(u + 10 * c, v + 10 * c));
+    }
+    EXPECT_FALSE(result->graph.HasEdge(u, v + 10));
+  }
+}
+
+TEST(KCopyTest, PartitionIsSubAutomorphismAndKSymmetric) {
+  Rng rng(241);
+  const Graph g = ErdosRenyiGnm(15, 25, rng);
+  const auto result = KCopyAnonymize(g, 3);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cell : result->partition.cells) {
+    EXPECT_EQ(cell.size(), 3u);
+  }
+  EXPECT_TRUE(IsCellwiseSubAutomorphismPartition(result->graph,
+                                                 result->partition));
+  EXPECT_TRUE(IsKSymmetric(result->graph, 3));
+}
+
+TEST(KCopyTest, KOneIsIdentity) {
+  const Graph g = MakeCycle(5);
+  const auto result = KCopyAnonymize(g, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->graph == g);
+  EXPECT_EQ(result->vertices_added, 0u);
+}
+
+TEST(KCopyTest, RejectsZeroK) {
+  EXPECT_FALSE(KCopyAnonymize(MakeCycle(4), 0).ok());
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,64 @@
+// Tests that the synthetic dataset stand-ins match the paper's Table 1
+// statistics within tolerance.
+
+#include "datasets/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace ksym {
+namespace {
+
+TEST(DatasetsTest, EnronMatchesTable1) {
+  const Graph g = MakeEnronLike();
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_vertices, 111u);
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), 287.0, 10.0);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_NEAR(static_cast<double>(stats.max_degree), 20.0, 2.0);
+  EXPECT_NEAR(stats.median_degree, 5.0, 1.0);
+  EXPECT_NEAR(stats.average_degree, 5.17, 0.35);
+}
+
+TEST(DatasetsTest, HepthMatchesTable1) {
+  const Graph g = MakeHepthLike();
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_vertices, 2510u);
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), 4737.0, 60.0);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_NEAR(static_cast<double>(stats.max_degree), 36.0, 4.0);
+  EXPECT_NEAR(stats.median_degree, 2.0, 1.0);
+  EXPECT_NEAR(stats.average_degree, 3.77, 0.25);
+}
+
+TEST(DatasetsTest, NetTraceMatchesTable1) {
+  const Graph g = MakeNetTraceLike();
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_vertices, 4213u);
+  EXPECT_NEAR(static_cast<double>(stats.num_edges), 5507.0, 80.0);
+  EXPECT_EQ(stats.min_degree, 1u);
+  // The defining extreme hub.
+  EXPECT_NEAR(static_cast<double>(stats.max_degree), 1656.0, 60.0);
+  EXPECT_DOUBLE_EQ(stats.median_degree, 1.0);
+  EXPECT_NEAR(stats.average_degree, 2.61, 0.2);
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  EXPECT_TRUE(MakeEnronLike(7) == MakeEnronLike(7));
+  EXPECT_FALSE(MakeEnronLike(7) == MakeEnronLike(8));
+}
+
+TEST(DatasetsTest, AllDatasetsCarryPaperStats) {
+  const auto datasets = MakeAllDatasets();
+  ASSERT_EQ(datasets.size(), 3u);
+  EXPECT_EQ(datasets[0].name, "Enron");
+  EXPECT_EQ(datasets[1].name, "Hepth");
+  EXPECT_EQ(datasets[2].name, "Net_trace");
+  for (const auto& d : datasets) {
+    EXPECT_EQ(d.graph.NumVertices(), d.paper_stats.num_vertices);
+  }
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,90 @@
+// Tests for the distinct-image characterization of k-symmetry (the paper's
+// conclusion) and its equivalence with the orbit-size definition.
+
+#include "ksym/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ksym/anonymizer.h"
+#include "ksym/verifier.h"
+
+namespace ksym {
+namespace {
+
+TEST(EquivalenceTest, WitnessOnCycle) {
+  // C_6 is vertex-transitive: every vertex has witnesses up to k = 6.
+  const Graph c6 = MakeCycle(6);
+  for (uint32_t k : {2u, 3u, 6u}) {
+    const DistinctImageWitness witness = FindDistinctImageWitness(c6, 0, k);
+    ASSERT_EQ(witness.automorphisms.size(), k - 1) << "k=" << k;
+    EXPECT_TRUE(VerifyWitness(c6, witness));
+  }
+  // But not k = 7 (only 6 vertices in the orbit).
+  const DistinctImageWitness too_big = FindDistinctImageWitness(c6, 0, 7);
+  EXPECT_TRUE(too_big.automorphisms.empty());
+}
+
+TEST(EquivalenceTest, RigidVertexHasNoWitness) {
+  const Graph star = MakeStar(5);
+  // The hub is rigid (singleton orbit): no nontrivial automorphism moves it.
+  const DistinctImageWitness witness = FindDistinctImageWitness(star, 0, 2);
+  EXPECT_TRUE(witness.automorphisms.empty());
+  // Leaves have witnesses.
+  const DistinctImageWitness leaf = FindDistinctImageWitness(star, 1, 4);
+  EXPECT_EQ(leaf.automorphisms.size(), 3u);
+  EXPECT_TRUE(VerifyWitness(star, leaf));
+}
+
+TEST(EquivalenceTest, VerifyWitnessRejectsBadFamilies) {
+  const Graph c4 = MakeCycle(4);
+  DistinctImageWitness witness;
+  witness.vertex = 0;
+  // Identity is not allowed.
+  witness.automorphisms = {Permutation::Identity(4)};
+  EXPECT_FALSE(VerifyWitness(c4, witness));
+  // Non-automorphism rejected.
+  witness.automorphisms = {Permutation({1, 0, 2, 3})};
+  EXPECT_FALSE(VerifyWitness(c4, witness));
+  // Duplicate images rejected: two automorphisms both mapping 0 -> 2.
+  witness.automorphisms = {Permutation({2, 3, 0, 1}),
+                           Permutation({2, 1, 0, 3})};
+  EXPECT_FALSE(VerifyWitness(c4, witness));
+  // A valid family passes.
+  witness.automorphisms = {Permutation({1, 2, 3, 0}),
+                           Permutation({2, 3, 0, 1})};
+  EXPECT_TRUE(VerifyWitness(c4, witness));
+}
+
+TEST(EquivalenceTest, CharacterizationMatchesOrbitDefinition) {
+  // The conclusion's claim, machine-checked: the distinct-image
+  // characterization holds iff every orbit has >= k members.
+  Rng rng(233);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = ErdosRenyiGnm(18, 26, rng);
+    for (uint32_t k : {2u, 3u}) {
+      EXPECT_EQ(SatisfiesDistinctImageCharacterization(g, k),
+                IsKSymmetric(g, k))
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(EquivalenceTest, AnonymizedGraphsSatisfyCharacterization) {
+  Rng rng(239);
+  const Graph g = ErdosRenyiGnm(20, 30, rng);
+  for (uint32_t k : {2u, 4u}) {
+    AnonymizationOptions options;
+    options.k = k;
+    const auto release = Anonymize(g, options);
+    ASSERT_TRUE(release.ok());
+    EXPECT_TRUE(SatisfiesDistinctImageCharacterization(release->graph, k));
+  }
+}
+
+TEST(EquivalenceTest, KOneIsVacuous) {
+  EXPECT_TRUE(SatisfiesDistinctImageCharacterization(MakeStar(4), 1));
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,109 @@
+// Failure-injection tests: every Status-returning API surface exercised
+// with invalid inputs; errors must be reported, not crash or corrupt.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/kdegree.h"
+#include "baseline/perturbation.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "ksym/anonymizer.h"
+#include "ksym/minimal.h"
+#include "ksym/sampling.h"
+
+namespace ksym {
+namespace {
+
+TEST(ErrorsTest, AnonymizerRejectsZeroK) {
+  AnonymizationOptions options;
+  options.k = 0;
+  const auto result = Anonymize(MakeCycle(4), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorsTest, AnonymizerRejectsMismatchedPartition) {
+  const Graph g = MakeCycle(5);
+  const VertexPartition wrong = VertexPartition::FromCells(3, {{0, 1, 2}});
+  AnonymizationOptions options;
+  options.k = 2;
+  EXPECT_FALSE(AnonymizeWithPartition(g, wrong, options).ok());
+  EXPECT_FALSE(AnonymizeMinimalVertices(g, wrong, options).ok());
+}
+
+TEST(ErrorsTest, SamplersRejectMismatchedInputs) {
+  const Graph g = MakeCycle(5);
+  const VertexPartition wrong = VertexPartition::FromCells(3, {{0, 1, 2}});
+  Rng rng(1);
+  EXPECT_FALSE(ExactBackboneSample(g, wrong, 5, rng).ok());
+  EXPECT_FALSE(ApproximateBackboneSample(g, wrong, 5, rng).ok());
+
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const std::vector<double> bad_weights(99, 1.0);
+  EXPECT_FALSE(ExactBackboneSample(g, orbits, 5, rng, &bad_weights).ok());
+  EXPECT_FALSE(
+      ApproximateBackboneSample(g, orbits, 5, rng, &bad_weights).ok());
+}
+
+TEST(ErrorsTest, SamplerHandlesZeroTarget) {
+  const Graph g = MakeCycle(5);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  Rng rng(2);
+  const auto sample = ApproximateBackboneSample(g, orbits, 0, rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->NumVertices(), 0u);
+}
+
+TEST(ErrorsTest, SamplerHandlesEmptyGraph) {
+  Rng rng(3);
+  const auto sample = ApproximateBackboneSample(
+      Graph(0), VertexPartition::FromCells(0, {}), 0, rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->NumVertices(), 0u);
+}
+
+TEST(ErrorsTest, PerturbationRejectsOutOfRangeFraction) {
+  Rng rng(4);
+  EXPECT_EQ(RandomEdgePerturbation(MakeCycle(5), -0.01, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RandomEdgePerturbation(MakeCycle(5), 1.01, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorsTest, KDegreeRejectsUndersizedGraph) {
+  Rng rng(5);
+  const auto result = KDegreeAnonymize(MakePath(2), 3, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorsTest, EdgeListParserReportsLineNumbers) {
+  std::istringstream in("0 1\n1 2\nbogus line here\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ErrorsTest, ConfigurationModelStatusCodes) {
+  Rng rng(6);
+  EXPECT_EQ(ConfigurationModel({1, 1, 1}, rng).status().code(),
+            StatusCode::kInvalidArgument);  // Odd sum.
+  EXPECT_EQ(ConfigurationModel({9, 1}, rng).status().code(),
+            StatusCode::kInvalidArgument);  // Degree >= n.
+}
+
+TEST(ErrorsTest, StatusPropagationMacro) {
+  auto fails = []() -> Status { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    KSYM_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  const Status s = outer();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace ksym

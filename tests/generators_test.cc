@@ -1,0 +1,138 @@
+// Tests for graph generators: structural properties of deterministic
+// families and statistical/validity properties of random models.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.h"
+
+namespace ksym {
+namespace {
+
+TEST(DeterministicFamiliesTest, SizesAndDegrees) {
+  EXPECT_EQ(MakePath(6).NumEdges(), 5u);
+  EXPECT_EQ(MakeCycle(6).NumEdges(), 6u);
+  EXPECT_EQ(MakeStar(6).NumEdges(), 5u);
+  EXPECT_EQ(MakeComplete(6).NumEdges(), 15u);
+  EXPECT_EQ(MakeCompleteBipartite(2, 3).NumEdges(), 6u);
+  EXPECT_EQ(MakeHypercube(3).NumVertices(), 8u);
+  EXPECT_EQ(MakeHypercube(3).NumEdges(), 12u);
+}
+
+TEST(DeterministicFamiliesTest, PetersenIsCubic) {
+  const Graph p = MakePetersen();
+  EXPECT_EQ(p.NumVertices(), 10u);
+  EXPECT_EQ(p.NumEdges(), 15u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(p.Degree(v), 3u);
+  EXPECT_EQ(TotalTriangles(p), 0u);  // Girth 5.
+}
+
+TEST(DeterministicFamiliesTest, BalancedTreeSize) {
+  // Binary depth 3: 1 + 2 + 4 + 8 = 15 vertices, 14 edges.
+  const Graph t = MakeBalancedTree(2, 3);
+  EXPECT_EQ(t.NumVertices(), 15u);
+  EXPECT_EQ(t.NumEdges(), 14u);
+  EXPECT_TRUE(IsConnected(t));
+}
+
+TEST(DeterministicFamiliesTest, GridIsConnectedAndPlanarSized) {
+  const Graph g = MakeGrid(3, 4);
+  EXPECT_EQ(g.NumVertices(), 12u);
+  EXPECT_EQ(g.NumEdges(), 3u * 3u + 4u * 2u);  // 17.
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ErdosRenyiTest, GnmExactEdgeCount) {
+  Rng rng(1);
+  const Graph g = ErdosRenyiGnm(50, 100, rng);
+  EXPECT_EQ(g.NumVertices(), 50u);
+  EXPECT_EQ(g.NumEdges(), 100u);
+}
+
+TEST(ErdosRenyiTest, GnmClampsToMaximum) {
+  Rng rng(2);
+  const Graph g = ErdosRenyiGnm(5, 1000, rng);
+  EXPECT_EQ(g.NumEdges(), 10u);  // K_5.
+}
+
+TEST(ErdosRenyiTest, GnpEdgeCountNearExpectation) {
+  Rng rng(3);
+  const Graph g = ErdosRenyiGnp(100, 0.1, rng);
+  const double expected = 0.1 * (100.0 * 99.0 / 2.0);
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected, 80.0);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  EXPECT_TRUE(ErdosRenyiGnm(30, 60, rng1) == ErdosRenyiGnm(30, 60, rng2));
+}
+
+TEST(BarabasiAlbertTest, SizeAndSkew) {
+  Rng rng(7);
+  const Graph g = BarabasiAlbert(500, 2, rng);
+  EXPECT_EQ(g.NumVertices(), 500u);
+  EXPECT_TRUE(IsConnected(g));
+  const DegreeStats stats = ComputeDegreeStats(g);
+  // Preferential attachment: max degree well above the average.
+  EXPECT_GT(static_cast<double>(stats.max_degree),
+            3.0 * stats.average_degree);
+  EXPECT_GE(stats.min_degree, 2u);
+}
+
+TEST(WattsStrogatzTest, DegreeSumPreserved) {
+  Rng rng(9);
+  const Graph g = WattsStrogatz(100, 2, 0.1, rng);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 200u);  // n * k edges, rewiring preserves count.
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(11);
+  const Graph g = WattsStrogatz(20, 2, 0.0, rng);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.Degree(v), 4u);
+}
+
+TEST(ConfigurationModelTest, ExactRegularSequence) {
+  Rng rng(13);
+  const std::vector<size_t> degrees(20, 3);
+  const auto result = ConfigurationModel(degrees, rng);
+  ASSERT_TRUE(result.ok());
+  for (VertexId v = 0; v < 20; ++v) {
+    EXPECT_EQ(result->Degree(v), 3u);
+  }
+}
+
+TEST(ConfigurationModelTest, RejectsOddSum) {
+  Rng rng(17);
+  const auto result = ConfigurationModel({3, 3, 3}, rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigurationModelTest, RejectsImpossibleDegree) {
+  Rng rng(19);
+  const auto result = ConfigurationModel({5, 1, 1, 1}, rng);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ConfigurationModelTest, SkewedSequenceCloseToTarget) {
+  Rng rng(23);
+  std::vector<size_t> degrees(200, 1);
+  degrees[0] = 150;  // One big hub.
+  degrees[1] = 30;
+  degrees[2] = 21;  // Make the sum even: 150+30+21+197 = 398.
+  const auto result = ConfigurationModel(degrees, rng);
+  ASSERT_TRUE(result.ok());
+  const uint64_t target_sum =
+      std::accumulate(degrees.begin(), degrees.end(), uint64_t{0});
+  // Erasure loses at most a small fraction of stubs.
+  EXPECT_GE(2 * result->NumEdges(), target_sum - 20);
+  EXPECT_NEAR(static_cast<double>(result->Degree(0)), 150.0, 10.0);
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,146 @@
+// Tests for the Graph / GraphBuilder / MutableGraph core.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ksym {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.Edges().empty());
+}
+
+TEST(GraphTest, IsolatedVertices) {
+  Graph g(5);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 0u);
+}
+
+TEST(GraphBuilderTest, BuildsSortedAdjacency) {
+  GraphBuilder b(4);
+  b.AddEdge(2, 0);
+  b.AddEdge(0, 1);
+  b.AddEdge(3, 0);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 3u);
+  const auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[2], 3u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesAndDropsSelfLoops) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // Duplicate in reverse.
+  b.AddEdge(0, 1);  // Duplicate.
+  b.AddEdge(2, 2);  // Self-loop.
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(GraphBuilderTest, GrowsVerticesOnDemand) {
+  GraphBuilder b;
+  b.AddEdge(0, 7);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 8u);
+  EXPECT_TRUE(g.HasEdge(0, 7));
+}
+
+TEST(GraphBuilderTest, AddVertexReturnsDenseIds) {
+  GraphBuilder b(2);
+  EXPECT_EQ(b.AddVertex(), 2u);
+  EXPECT_EQ(b.AddVertex(), 3u);
+  EXPECT_EQ(b.Build().NumVertices(), 4u);
+}
+
+TEST(GraphTest, HasEdgeBothDirections) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2);
+  const Graph g = b.Build();
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, EdgesAreNormalizedAndSorted) {
+  GraphBuilder b(4);
+  b.AddEdge(3, 1);
+  b.AddEdge(2, 0);
+  b.AddEdge(1, 0);
+  const auto edges = b.Build().Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(0u, 1u));
+  EXPECT_EQ(edges[1], std::make_pair(0u, 2u));
+  EXPECT_EQ(edges[2], std::make_pair(1u, 3u));
+}
+
+TEST(GraphTest, DegreesVector) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  const auto degrees = b.Build().Degrees();
+  EXPECT_EQ(degrees, (std::vector<size_t>{2, 1, 1}));
+}
+
+TEST(GraphTest, EqualityIsLabelled) {
+  GraphBuilder b1(3);
+  b1.AddEdge(0, 1);
+  GraphBuilder b2(3);
+  b2.AddEdge(1, 2);
+  EXPECT_FALSE(b1.Build() == b2.Build());  // Isomorphic but not equal.
+  EXPECT_TRUE(b1.Build() == b1.Build());
+}
+
+TEST(MutableGraphTest, StartsFromExistingGraph) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  MutableGraph m(b.Build());
+  EXPECT_EQ(m.NumVertices(), 3u);
+  EXPECT_EQ(m.NumEdges(), 1u);
+  EXPECT_TRUE(m.HasEdge(0, 1));
+}
+
+TEST(MutableGraphTest, AddVertexAndEdge) {
+  MutableGraph m;
+  const VertexId a = m.AddVertex();
+  const VertexId b = m.AddVertex();
+  const VertexId c = m.AddVertex();
+  m.AddEdge(a, b);
+  m.AddEdge(b, c);
+  EXPECT_EQ(m.NumVertices(), 3u);
+  EXPECT_EQ(m.NumEdges(), 2u);
+  EXPECT_EQ(m.Degree(b), 2u);
+}
+
+TEST(MutableGraphTest, FreezeSortsAdjacency) {
+  MutableGraph m;
+  for (int i = 0; i < 4; ++i) m.AddVertex();
+  m.AddEdge(0, 3);
+  m.AddEdge(0, 1);
+  m.AddEdge(0, 2);
+  const Graph g = m.Freeze();
+  const auto n0 = g.Neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(MutableGraphTest, FreezeRoundTripsOriginal) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  const Graph original = b.Build();
+  EXPECT_TRUE(MutableGraph(original).Freeze() == original);
+}
+
+}  // namespace
+}  // namespace ksym

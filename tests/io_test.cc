@@ -1,0 +1,93 @@
+// Tests for edge-list I/O: parsing, comments, remapping, round trips.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace ksym {
+namespace {
+
+TEST(IoTest, ParsesSimpleEdgeList) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumVertices(), 3u);
+  EXPECT_EQ(loaded->graph.NumEdges(), 3u);
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n% other comment\n0 1\n\n1 2\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumEdges(), 2u);
+}
+
+TEST(IoTest, RemapsSparseIds) {
+  std::istringstream in("100 2000\n2000 31\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumVertices(), 3u);
+  // Ascending original-id order: 31 -> 0, 100 -> 1, 2000 -> 2.
+  EXPECT_EQ(loaded->labels, (std::vector<uint64_t>{31, 100, 2000}));
+  EXPECT_TRUE(loaded->graph.HasEdge(1, 2));  // 100 -- 2000.
+  EXPECT_TRUE(loaded->graph.HasEdge(2, 0));  // 2000 -- 31.
+}
+
+TEST(IoTest, DropsSelfLoopsAndDuplicates) {
+  std::istringstream in("1 1\n1 2\n2 1\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumEdges(), 1u);
+}
+
+TEST(IoTest, RejectsMalformedLine) {
+  std::istringstream in("0 1\njunk\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, RejectsNegativeIds) {
+  std::istringstream in("-1 2\n");
+  EXPECT_FALSE(ReadEdgeList(in).ok());
+}
+
+TEST(IoTest, AcceptsExtraColumnsIgnored) {
+  std::istringstream in("0 1 0.5\n1 2 0.7\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumEdges(), 2u);
+}
+
+TEST(IoTest, RoundTripPreservesGraph) {
+  const Graph original = MakePetersen();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEdgeList(original, out).ok());
+  std::istringstream in(out.str());
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  // Internal ids are written, so the round trip is exact.
+  EXPECT_TRUE(loaded->graph == original);
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const Graph original = MakeCycle(7);
+  const std::string path = testing::TempDir() + "/ksym_io_test.edges";
+  ASSERT_TRUE(WriteEdgeListFile(original, path).ok());
+  const auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->graph == original);
+}
+
+TEST(IoTest, MissingFileFails) {
+  const auto loaded = ReadEdgeListFile("/nonexistent/definitely/missing");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,174 @@
+// Tests for the orbit copying operation (Definition 3, Lemmas 1-3).
+
+#include "ksym/orbit_copy.h"
+
+#include <gtest/gtest.h>
+
+#include "aut/isomorphism.h"
+#include "aut/orbits.h"
+#include "graph/generators.h"
+#include "ksym/verifier.h"
+
+namespace ksym {
+namespace {
+
+// The running example of the paper's Figure 3(a): orbits
+// V1 = {v1,v2}, V2 = {v3}, V3 = {v4,v5}, V4 = {v6,v7}, V5 = {v8}
+// (1-indexed); 0-indexed: {0,1}, {2}, {3,4}, {5,6}, {7}.
+Graph Figure3Graph() {
+  GraphBuilder b(8);
+  b.AddEdge(0, 2);  // v1-v3
+  b.AddEdge(1, 2);  // v2-v3
+  b.AddEdge(2, 3);  // v3-v4
+  b.AddEdge(2, 4);  // v3-v5
+  b.AddEdge(3, 5);  // v4-v6
+  b.AddEdge(4, 6);  // v5-v7
+  b.AddEdge(5, 7);  // v6-v8
+  b.AddEdge(6, 7);  // v7-v8
+  b.AddEdge(3, 4);  // v4-v5 (the orbit has an internal edge)
+  return b.Build();
+}
+
+TEST(OrbitCopyTest, Figure3OrbitsAreAsInThePaper) {
+  const VertexPartition orbits = ComputeAutomorphismPartition(Figure3Graph());
+  ASSERT_EQ(orbits.NumCells(), 5u);
+  EXPECT_EQ(orbits.cells[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(orbits.cells[1], (std::vector<VertexId>{2}));
+  EXPECT_EQ(orbits.cells[2], (std::vector<VertexId>{3, 4}));
+  EXPECT_EQ(orbits.cells[3], (std::vector<VertexId>{5, 6}));
+  EXPECT_EQ(orbits.cells[4], (std::vector<VertexId>{7}));
+}
+
+TEST(OrbitCopyTest, CopyingV3MatchesFigure3b) {
+  // Copying V3 = {v4, v5} introduces v4', v5' with edges to v3 (external),
+  // v6/v7 (external) and the mirrored internal edge v4'-v5'.
+  const Graph g = Figure3Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  MutableGraph mg(g);
+  TrackedPartition partition(orbits);
+  const auto copies = OrbitCopy(mg, partition, 2, orbits.cells[2]);
+  ASSERT_EQ(copies.size(), 2u);
+  const VertexId v4c = copies[0];
+  const VertexId v5c = copies[1];
+  const Graph result = mg.Freeze();
+  EXPECT_EQ(result.NumVertices(), 10u);
+  // External adjacency preserved exactly (rule 1).
+  EXPECT_TRUE(result.HasEdge(v4c, 2));
+  EXPECT_TRUE(result.HasEdge(v5c, 2));
+  EXPECT_TRUE(result.HasEdge(v4c, 5));
+  EXPECT_TRUE(result.HasEdge(v5c, 6));
+  // Internal edge mirrored between copies (rule 2).
+  EXPECT_TRUE(result.HasEdge(v4c, v5c));
+  // No edges between copies and originals of the cell.
+  EXPECT_FALSE(result.HasEdge(v4c, 3));
+  EXPECT_FALSE(result.HasEdge(v4c, 4));
+  EXPECT_FALSE(result.HasEdge(v5c, 3));
+  EXPECT_FALSE(result.HasEdge(v5c, 4));
+  // 4 vertices in the augmented cell.
+  EXPECT_EQ(partition.Cell(2).size(), 4u);
+}
+
+TEST(OrbitCopyTest, ResultIsSubAutomorphismPartition) {
+  // Lemma 1: after one copy, the augmented partition is a (cell-wise)
+  // sub-automorphism partition of the new graph.
+  const Graph g = Figure3Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  for (uint32_t cell = 0; cell < orbits.NumCells(); ++cell) {
+    MutableGraph mg(g);
+    TrackedPartition partition(orbits);
+    OrbitCopy(mg, partition, cell, orbits.cells[cell]);
+    EXPECT_TRUE(IsCellwiseSubAutomorphismPartition(
+        mg.Freeze(), partition.ToVertexPartition()))
+        << "cell " << cell;
+  }
+}
+
+TEST(OrbitCopyTest, RepeatedCopiesKeepProperty) {
+  // Lemma 2: N copies of the same cell.
+  const Graph g = Figure3Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  MutableGraph mg(g);
+  TrackedPartition partition(orbits);
+  for (int rep = 0; rep < 3; ++rep) {
+    OrbitCopy(mg, partition, 0, orbits.cells[0]);
+  }
+  EXPECT_EQ(partition.Cell(0).size(), 8u);
+  EXPECT_TRUE(IsCellwiseSubAutomorphismPartition(
+      mg.Freeze(), partition.ToVertexPartition()));
+}
+
+TEST(OrbitCopyTest, OrderIndependenceUpToIsomorphism) {
+  // Lemma 3: applying the same multiset of copy operations in different
+  // orders yields isomorphic graphs.
+  const Graph g = Figure3Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+
+  MutableGraph g1(g);
+  TrackedPartition p1(orbits);
+  OrbitCopy(g1, p1, 0, orbits.cells[0]);
+  OrbitCopy(g1, p1, 2, orbits.cells[2]);
+  OrbitCopy(g1, p1, 4, orbits.cells[4]);
+
+  MutableGraph g2(g);
+  TrackedPartition p2(orbits);
+  OrbitCopy(g2, p2, 4, orbits.cells[4]);
+  OrbitCopy(g2, p2, 2, orbits.cells[2]);
+  OrbitCopy(g2, p2, 0, orbits.cells[0]);
+
+  EXPECT_TRUE(AreIsomorphic(g1.Freeze(), g2.Freeze()));
+}
+
+TEST(OrbitCopyTest, CopyCountsDegreesPreserved) {
+  // Every copy has the same degree as its original.
+  const Graph g = Figure3Graph();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  MutableGraph mg(g);
+  TrackedPartition partition(orbits);
+  const auto copies = OrbitCopy(mg, partition, 2, orbits.cells[2]);
+  const Graph result = mg.Freeze();
+  for (size_t i = 0; i < copies.size(); ++i) {
+    EXPECT_EQ(result.Degree(copies[i]), g.Degree(orbits.cells[2][i]));
+  }
+}
+
+TEST(OrbitCopyTest, SingletonCellCopy) {
+  // Copying a singleton orbit duplicates the vertex with its exact
+  // neighbourhood (the star-leaf case).
+  const Graph star = MakeStar(4);  // Hub 0; leaves 1, 2, 3.
+  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  // Orbits: {0}, {1,2,3}.
+  MutableGraph mg(star);
+  TrackedPartition partition(orbits);
+  const uint32_t hub_cell = orbits.cell_of[0];
+  const auto copies = OrbitCopy(mg, partition, hub_cell, orbits.cells[hub_cell]);
+  const Graph result = mg.Freeze();
+  ASSERT_EQ(copies.size(), 1u);
+  EXPECT_EQ(result.Degree(copies[0]), 3u);  // Mirrors the hub.
+  for (VertexId leaf : {1u, 2u, 3u}) {
+    EXPECT_TRUE(result.HasEdge(copies[0], leaf));
+  }
+}
+
+TEST(TrackedPartitionTest, ProvenanceCollapsesToOriginals) {
+  const Graph g = MakeStar(3);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  MutableGraph mg(g);
+  TrackedPartition partition(orbits);
+  const uint32_t leaf_cell = orbits.cell_of[1];
+  const auto first = OrbitCopy(mg, partition, leaf_cell, orbits.cells[leaf_cell]);
+  // Copy the copies' cell again using originals as unit.
+  const auto second = OrbitCopy(mg, partition, leaf_cell, orbits.cells[leaf_cell]);
+  for (VertexId v : first) {
+    EXPECT_FALSE(partition.IsOriginal(v));
+    EXPECT_TRUE(partition.IsOriginal(partition.OriginalOf(v)));
+  }
+  for (VertexId v : second) {
+    EXPECT_TRUE(partition.IsOriginal(partition.OriginalOf(v)));
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_TRUE(partition.IsOriginal(v));
+  }
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,110 @@
+// Tests for the network quotient and its contrast with the backbone
+// (the paper's Figure 6).
+
+#include "ksym/quotient.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ksym/backbone.h"
+
+namespace ksym {
+namespace {
+
+TEST(QuotientTest, VertexTransitiveGraphCollapsesToAPoint) {
+  const Graph c6 = MakeCycle(6);
+  const VertexPartition orbits = ComputeAutomorphismPartition(c6);
+  const QuotientResult q = ComputeQuotient(c6, orbits);
+  EXPECT_EQ(q.graph.NumVertices(), 1u);
+  EXPECT_EQ(q.graph.NumEdges(), 0u);
+  EXPECT_TRUE(q.has_internal_edges[0]);
+  EXPECT_EQ(q.cell_size[0], 6u);
+}
+
+TEST(QuotientTest, StarCollapsesToAnEdge) {
+  const Graph star = MakeStar(9);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  const QuotientResult q = ComputeQuotient(star, orbits);
+  EXPECT_EQ(q.graph.NumVertices(), 2u);
+  EXPECT_EQ(q.graph.NumEdges(), 1u);
+  EXPECT_FALSE(q.has_internal_edges[0]);
+  EXPECT_FALSE(q.has_internal_edges[1]);
+}
+
+TEST(QuotientTest, RigidGraphIsItself) {
+  // Orbits all singletons: quotient == graph (no self-loops).
+  const Graph p4 = MakePath(4);
+  // P4 orbits: {0,3}, {1,2} — not rigid; use the asymmetric spider.
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(0, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 6);
+  const Graph spider = b.Build();
+  const VertexPartition orbits = ComputeAutomorphismPartition(spider);
+  ASSERT_EQ(orbits.NumCells(), 7u);
+  const QuotientResult q = ComputeQuotient(spider, orbits);
+  EXPECT_EQ(q.graph.NumVertices(), 7u);
+  EXPECT_EQ(q.graph.NumEdges(), spider.NumEdges());
+  (void)p4;
+}
+
+TEST(QuotientTest, Figure6BackboneKeepsModulesQuotientMerges) {
+  // Figure 6: a graph with two isomorphic multi-orbit substructures S1, S2.
+  // The backbone preserves both (modular information); the quotient merges
+  // them. Construction: hub 0 with two pendant 2-paths (S1 = 1-2,
+  // S2 = 3-4); orbits {0}, {1,3}, {2,4}.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(3, 4);
+  const Graph g = b.Build();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  ASSERT_EQ(orbits.NumCells(), 3u);
+
+  // Quotient: 3 super-vertices — S1 and S2 fused into cell-level path.
+  const QuotientResult q = ComputeQuotient(g, orbits);
+  EXPECT_EQ(q.graph.NumVertices(), 3u);
+
+  // Backbone: nothing reduces (each arm spans two orbits, and within each
+  // orbit the members attach to different parents), so both modules stay.
+  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  EXPECT_EQ(backbone.graph.NumVertices(), 5u);
+  EXPECT_GT(backbone.graph.NumVertices(), q.graph.NumVertices());
+}
+
+TEST(QuotientTest, InternalEdgeFlagTracksInducedEdges) {
+  // Orbit {3,4} of the Figure 3 graph has the internal edge (3,4).
+  GraphBuilder b(8);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(3, 4);
+  b.AddEdge(3, 5);
+  b.AddEdge(4, 6);
+  b.AddEdge(5, 7);
+  b.AddEdge(6, 7);
+  const Graph g = b.Build();
+  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const QuotientResult q = ComputeQuotient(g, orbits);
+  EXPECT_TRUE(q.has_internal_edges[orbits.cell_of[3]]);
+  EXPECT_FALSE(q.has_internal_edges[orbits.cell_of[0]]);
+}
+
+TEST(QuotientTest, QuotientNeverLargerThanBackbone) {
+  Rng rng(229);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = ErdosRenyiGnm(24, 30, rng);
+    const VertexPartition orbits = ComputeAutomorphismPartition(g);
+    const QuotientResult q = ComputeQuotient(g, orbits);
+    const BackboneResult backbone = ComputeBackbone(g, orbits);
+    EXPECT_LE(q.graph.NumVertices(), backbone.graph.NumVertices());
+  }
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,192 @@
+// Tests for ordered partitions and equitable (colour) refinement.
+
+#include "aut/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace ksym {
+namespace {
+
+// Checks the equitability property: for any two cells C, W, every vertex of
+// C has the same number of neighbours in W.
+void ExpectEquitable(const Graph& graph,
+                     const std::vector<std::vector<VertexId>>& cells) {
+  std::vector<uint32_t> cell_of(graph.NumVertices());
+  for (uint32_t c = 0; c < cells.size(); ++c) {
+    for (VertexId v : cells[c]) cell_of[v] = c;
+  }
+  for (const auto& cell : cells) {
+    std::vector<size_t> reference(cells.size(), 0);
+    bool first = true;
+    for (VertexId v : cell) {
+      std::vector<size_t> counts(cells.size(), 0);
+      for (VertexId u : graph.Neighbors(v)) ++counts[cell_of[u]];
+      if (first) {
+        reference = counts;
+        first = false;
+      } else {
+        EXPECT_EQ(counts, reference);
+      }
+    }
+  }
+}
+
+TEST(OrderedPartitionTest, UnitPartition) {
+  OrderedPartition p(5, {});
+  EXPECT_EQ(p.NumCells(), 1u);
+  EXPECT_FALSE(p.IsDiscrete());
+  EXPECT_EQ(p.CellSizeAt(0), 5u);
+}
+
+TEST(OrderedPartitionTest, ColorsOrderCells) {
+  OrderedPartition p(4, {2, 0, 2, 1});
+  EXPECT_EQ(p.NumCells(), 3u);
+  const auto cells = p.Cells();
+  EXPECT_EQ(cells[0], (std::vector<VertexId>{1}));       // Color 0.
+  EXPECT_EQ(cells[1], (std::vector<VertexId>{3}));       // Color 1.
+  ASSERT_EQ(cells[2].size(), 2u);                        // Color 2.
+}
+
+TEST(OrderedPartitionTest, IndividualizeSplitsCell) {
+  OrderedPartition p(4, {});
+  const uint32_t singleton = p.Individualize(2);
+  EXPECT_EQ(singleton, 3u);  // Carved from the tail of the segment.
+  EXPECT_EQ(p.NumCells(), 2u);
+  EXPECT_EQ(p.CellSizeAt(singleton), 1u);
+  EXPECT_EQ(p.CellAt(singleton)[0], 2u);
+  EXPECT_EQ(p.CellSizeAt(0), 3u);
+}
+
+TEST(OrderedPartitionTest, RevertRestoresCells) {
+  OrderedPartition p(6, {});
+  const size_t mark = p.JournalMark();
+  p.Individualize(4);
+  EXPECT_EQ(p.NumCells(), 2u);
+  p.RevertTo(mark);
+  EXPECT_EQ(p.NumCells(), 1u);
+  EXPECT_EQ(p.CellSizeAt(p.CellStartOf(4)), 6u);
+}
+
+TEST(OrderedPartitionTest, TargetCellIsFirstNonSingleton) {
+  OrderedPartition p(6, {2, 0, 0, 1, 1, 2});
+  // Cells in colour order: {1,2}, {3,4}, {0,5}. First non-singleton: {1,2}.
+  const uint32_t target = p.TargetCell();
+  EXPECT_EQ(p.CellSizeAt(target), 2u);
+  const auto cell = p.CellAt(target);
+  EXPECT_TRUE(std::find(cell.begin(), cell.end(), 1u) != cell.end());
+  EXPECT_TRUE(std::find(cell.begin(), cell.end(), 2u) != cell.end());
+
+  // Discrete partitions have no target.
+  OrderedPartition discrete(3, {0, 1, 2});
+  EXPECT_EQ(discrete.TargetCell(), OrderedPartition::kNoCell);
+}
+
+TEST(OrderedPartitionTest, DiscreteToLabeling) {
+  OrderedPartition p(3, {2, 0, 1});
+  ASSERT_TRUE(p.IsDiscrete());
+  const Permutation lab = p.ToLabeling();
+  EXPECT_EQ(lab.Image(1), 0u);  // Color 0 first.
+  EXPECT_EQ(lab.Image(2), 1u);
+  EXPECT_EQ(lab.Image(0), 2u);
+}
+
+TEST(RefinementTest, RegularGraphStaysUnit) {
+  // Colour refinement cannot split a regular graph's unit partition.
+  const Graph c6 = MakeCycle(6);
+  const auto cells = EquitablePartition(c6);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].size(), 6u);
+}
+
+TEST(RefinementTest, StarSplitsHubFromLeaves) {
+  const auto cells = EquitablePartition(MakeStar(6));
+  ASSERT_EQ(cells.size(), 2u);
+  // One singleton cell (hub), one 5-cell (leaves).
+  const size_t small = std::min(cells[0].size(), cells[1].size());
+  const size_t large = std::max(cells[0].size(), cells[1].size());
+  EXPECT_EQ(small, 1u);
+  EXPECT_EQ(large, 5u);
+}
+
+TEST(RefinementTest, PathRefinesByDistanceToEnds) {
+  // P_5: cells {0,4}, {1,3}, {2}.
+  const auto cells = EquitablePartition(MakePath(5));
+  EXPECT_EQ(cells.size(), 3u);
+  ExpectEquitable(MakePath(5), cells);
+}
+
+TEST(RefinementTest, ResultIsAlwaysEquitable) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = ErdosRenyiGnm(40, 70, rng);
+    ExpectEquitable(g, EquitablePartition(g));
+  }
+}
+
+TEST(RefinementTest, RespectsInitialColors) {
+  // C_4 with one coloured vertex: refinement separates by distance to it.
+  const Graph c4 = MakeCycle(4);
+  const auto cells = EquitablePartition(c4, {1, 0, 0, 0});
+  // {0}, {1,3}, {2}.
+  EXPECT_EQ(cells.size(), 3u);
+  ExpectEquitable(c4, cells);
+}
+
+TEST(RefinementTest, TraceHashIsInvariantUnderRelabeling) {
+  // The trace hash of isomorphic graphs (same initial colouring pattern)
+  // must match.
+  const Graph g1 = MakePath(6);
+  GraphBuilder b(6);  // The same path written backwards: 5-4-3-2-1-0.
+  for (VertexId i = 0; i + 1 < 6; ++i) b.AddEdge(5 - i, 4 - i);
+  const Graph g2 = b.Build();
+
+  OrderedPartition p1(6, {});
+  OrderedPartition p2(6, {});
+  Refiner r1(g1);
+  Refiner r2(g2);
+  EXPECT_EQ(r1.RefineAll(p1), r2.RefineAll(p2));
+}
+
+TEST(RefinementTest, TraceHashDiffersForDifferentStructures) {
+  OrderedPartition p1(6, {});
+  OrderedPartition p2(6, {});
+  const Graph path = MakePath(6);
+  const Graph star = MakeStar(6);
+  Refiner r1(path);
+  Refiner r2(star);
+  EXPECT_NE(r1.RefineAll(p1), r2.RefineAll(p2));
+}
+
+TEST(RefinementTest, IndividualizeThenRefineReachesDiscreteOnPath) {
+  const Graph p4 = MakePath(4);  // Cells after refine: {0,3}, {1,2}.
+  OrderedPartition partition(4, {});
+  Refiner refiner(p4);
+  refiner.RefineAll(partition);
+  EXPECT_EQ(partition.NumCells(), 2u);
+  const uint32_t start = partition.Individualize(0);
+  refiner.RefineFrom(partition, start);
+  EXPECT_TRUE(partition.IsDiscrete());
+}
+
+TEST(RefinementTest, EquitablePartitionCellsCoverAllVertices) {
+  Rng rng(37);
+  const Graph g = BarabasiAlbert(120, 2, rng);
+  const auto cells = EquitablePartition(g);
+  size_t total = 0;
+  std::vector<bool> seen(g.NumVertices(), false);
+  for (const auto& cell : cells) {
+    for (VertexId v : cell) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+}  // namespace
+}  // namespace ksym

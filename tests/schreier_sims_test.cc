@@ -1,0 +1,98 @@
+// Tests for the Schreier-Sims stabilizer chain: group orders and membership.
+
+#include "perm/schreier_sims.h"
+
+#include <gtest/gtest.h>
+
+namespace ksym {
+namespace {
+
+double Factorial(size_t n) {
+  double f = 1.0;
+  for (size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+TEST(SchreierSimsTest, TrivialGroup) {
+  const StabilizerChain chain(5, {});
+  EXPECT_EQ(chain.GroupOrder(), 1.0);
+  EXPECT_TRUE(chain.Contains(Permutation::Identity(5)));
+  EXPECT_FALSE(chain.Contains(Permutation({1, 0, 2, 3, 4})));
+}
+
+TEST(SchreierSimsTest, CyclicGroup) {
+  // <(0 1 2 3 4)> has order 5.
+  const StabilizerChain chain(5, {Permutation({1, 2, 3, 4, 0})});
+  EXPECT_EQ(chain.GroupOrder(), 5.0);
+  EXPECT_TRUE(chain.Contains(Permutation({2, 3, 4, 0, 1})));  // Square.
+  EXPECT_FALSE(chain.Contains(Permutation({1, 0, 2, 3, 4})));
+}
+
+TEST(SchreierSimsTest, SymmetricGroupFromTwoGenerators) {
+  // S_n = <(0 1), (0 1 2 ... n-1)>.
+  for (size_t n : {3, 4, 5, 6, 8}) {
+    std::vector<VertexId> transposition(n);
+    std::vector<VertexId> cycle(n);
+    for (VertexId i = 0; i < n; ++i) {
+      transposition[i] = i;
+      cycle[i] = (i + 1) % n;
+    }
+    std::swap(transposition[0], transposition[1]);
+    const StabilizerChain chain(
+        n, {Permutation(transposition), Permutation(cycle)});
+    EXPECT_EQ(chain.GroupOrder(), Factorial(n)) << "S_" << n;
+  }
+}
+
+TEST(SchreierSimsTest, AlternatingGroup) {
+  // A_4 = <(0 1 2), (1 2 3)> has order 12.
+  const StabilizerChain chain(
+      4, {Permutation({1, 2, 0, 3}), Permutation({0, 2, 3, 1})});
+  EXPECT_EQ(chain.GroupOrder(), 12.0);
+  // Odd permutations are excluded.
+  EXPECT_FALSE(chain.Contains(Permutation({1, 0, 2, 3})));
+  EXPECT_TRUE(chain.Contains(Permutation({1, 0, 3, 2})));  // Double swap.
+}
+
+TEST(SchreierSimsTest, DihedralGroup) {
+  // D_6 on a hexagon: rotation + reflection, order 12.
+  const StabilizerChain chain(
+      6, {Permutation({1, 2, 3, 4, 5, 0}), Permutation({0, 5, 4, 3, 2, 1})});
+  EXPECT_EQ(chain.GroupOrder(), 12.0);
+}
+
+TEST(SchreierSimsTest, KleinFourGroup) {
+  const StabilizerChain chain(
+      4, {Permutation({1, 0, 3, 2}), Permutation({2, 3, 0, 1})});
+  EXPECT_EQ(chain.GroupOrder(), 4.0);
+}
+
+TEST(SchreierSimsTest, DirectProductOfDisjointSupports) {
+  // (0 1) and (2 3 4): order 2 * 3 = 6.
+  const StabilizerChain chain(
+      5, {Permutation({1, 0, 2, 3, 4}), Permutation({0, 1, 3, 4, 2})});
+  EXPECT_EQ(chain.GroupOrder(), 6.0);
+}
+
+TEST(SchreierSimsTest, OrbitSizesMultiplyToOrder) {
+  const StabilizerChain chain(
+      5, {Permutation({1, 0, 2, 3, 4}), Permutation({1, 2, 3, 4, 0})});
+  double product = 1.0;
+  for (size_t s : chain.OrbitSizes()) product *= static_cast<double>(s);
+  EXPECT_EQ(product, chain.GroupOrder());
+  EXPECT_EQ(product, Factorial(5));
+}
+
+TEST(SchreierSimsTest, MembershipRejectsWrongSize) {
+  const StabilizerChain chain(4, {Permutation({1, 0, 2, 3})});
+  EXPECT_FALSE(chain.Contains(Permutation::Identity(5)));
+}
+
+TEST(SchreierSimsTest, IdentityGeneratorsIgnored) {
+  const StabilizerChain chain(
+      4, {Permutation::Identity(4), Permutation({1, 0, 2, 3})});
+  EXPECT_EQ(chain.GroupOrder(), 2.0);
+}
+
+}  // namespace
+}  // namespace ksym

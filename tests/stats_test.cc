@@ -1,0 +1,164 @@
+// Tests for utility statistics: distributions, K-S, resilience,
+// multi-sample aggregation.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "stats/aggregate.h"
+#include "stats/distributions.h"
+#include "stats/ks.h"
+#include "stats/resilience.h"
+
+namespace ksym {
+namespace {
+
+TEST(DistributionsTest, DegreeValues) {
+  const auto values = DegreeValues(MakeStar(4));
+  EXPECT_EQ(values, (std::vector<double>{3, 1, 1, 1}));
+}
+
+TEST(DistributionsTest, PathLengthsOnPathGraph) {
+  Rng rng(137);
+  const auto lengths = SampledPathLengths(MakePath(10), 200, rng);
+  ASSERT_EQ(lengths.size(), 200u);
+  for (double l : lengths) {
+    EXPECT_GE(l, 1.0);
+    EXPECT_LE(l, 9.0);
+  }
+}
+
+TEST(DistributionsTest, PathLengthsSkipDisconnectedPairs) {
+  Rng rng(139);
+  const Graph g = DisjointUnion(MakeComplete(3), MakeComplete(3));
+  const auto lengths = SampledPathLengths(g, 100, rng);
+  for (double l : lengths) EXPECT_DOUBLE_EQ(l, 1.0);  // Within a K_3.
+  EXPECT_FALSE(lengths.empty());
+}
+
+TEST(DistributionsTest, PathLengthsTinyGraphs) {
+  Rng rng(149);
+  EXPECT_TRUE(SampledPathLengths(Graph(0), 10, rng).empty());
+  EXPECT_TRUE(SampledPathLengths(Graph(1), 10, rng).empty());
+}
+
+TEST(DistributionsTest, Histogram) {
+  const auto h = Histogram({0, 1, 1, 3.7, 3.2});
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 2u);
+}
+
+TEST(DistributionsTest, BinnedHistogramClamps) {
+  const auto h = BinnedHistogram({-0.5, 0.0, 0.49, 0.51, 1.0, 2.0}, 0, 1, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -0.5 (clamped), 0.0, 0.49.
+  EXPECT_EQ(h[1], 3u);  // 0.51, 1.0, 2.0 (clamped).
+}
+
+TEST(KsTest, IdenticalSamplesZero) {
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic({1, 2, 3}, {3, 2, 1}), 0.0);
+}
+
+TEST(KsTest, DisjointSupportsOne) {
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic({1, 1, 1}, {5, 5, 5}), 1.0);
+}
+
+TEST(KsTest, KnownValue) {
+  // a = {1,2}, b = {2,3}: CDFs differ by 0.5 just below 2 and at 2.
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic({1, 2}, {2, 3}), 0.5);
+}
+
+TEST(KsTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic({1.0}, {}), 1.0);
+}
+
+TEST(KsTest, SymmetricInArguments) {
+  const std::vector<double> a = {1, 2, 2, 4, 7};
+  const std::vector<double> b = {1, 3, 5};
+  EXPECT_DOUBLE_EQ(KolmogorovSmirnovStatistic(a, b),
+                   KolmogorovSmirnovStatistic(b, a));
+}
+
+TEST(KsTest, DifferentSizesSupported) {
+  // a uniform over {0..9} x100, b uniform over {0..4} x50: D = 0.5.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 100; ++i) a.push_back(i % 10);
+  for (int i = 0; i < 50; ++i) b.push_back(i % 5);
+  EXPECT_NEAR(KolmogorovSmirnovStatistic(a, b), 0.5, 1e-9);
+}
+
+TEST(ResilienceTest, CompleteGraphResilient) {
+  const auto curve = ResilienceCurve(MakeComplete(20), 5, 0.5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().second, 1.0);
+  // Removing any fraction leaves one clique: LCC = remaining.
+  for (const auto& [fraction, lcc] : curve) {
+    EXPECT_NEAR(lcc, 1.0 - fraction, 0.051);
+  }
+}
+
+TEST(ResilienceTest, StarShattersImmediately) {
+  const auto curve = ResilienceCurve(MakeStar(100), 3, 0.2);
+  // Removing the hub (first by degree) disconnects everything.
+  EXPECT_DOUBLE_EQ(curve[0].second, 1.0);
+  EXPECT_NEAR(curve[1].second, 1.0 / 100.0, 1e-9);
+}
+
+TEST(ResilienceTest, MonotoneNonIncreasing) {
+  Rng rng(151);
+  const Graph g = BarabasiAlbert(150, 2, rng);
+  const auto curve = ResilienceCurve(g, 10, 0.6);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].second, curve[i - 1].second + 1e-12);
+  }
+}
+
+TEST(AggregateTest, CompareUtilityOfIdenticalGraphs) {
+  Rng rng(157);
+  const Graph g = ErdosRenyiGnm(60, 120, rng);
+  const UtilityDistance d = CompareUtility(g, g, 300, rng);
+  EXPECT_DOUBLE_EQ(d.ks_degree, 0.0);
+  EXPECT_DOUBLE_EQ(d.ks_clustering, 0.0);
+  EXPECT_LE(d.ks_path_length, 0.15);  // Sampling noise only.
+}
+
+TEST(AggregateTest, PooledConvergenceSeriesShrinks) {
+  // Pooling samples from the original's own distribution converges to it.
+  Rng rng(163);
+  const Graph original = BarabasiAlbert(100, 2, rng);
+  std::vector<Graph> samples;
+  for (int i = 0; i < 12; ++i) {
+    // Independent draws from the same model: same degree law family.
+    samples.push_back(BarabasiAlbert(100, 2, rng));
+  }
+  const auto series = PooledKsConvergence(original, samples, DegreeValues);
+  ASSERT_EQ(series.size(), 12u);
+  // Later pooled estimates should not be dramatically worse than early
+  // ones; and all values are valid K-S statistics.
+  for (double d : series) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  EXPECT_LE(series.back(), series.front() + 0.1);
+}
+
+TEST(AggregateTest, MeanConvergenceIsRunningMean) {
+  Rng rng(167);
+  const Graph original = MakeCycle(30);
+  const std::vector<Graph> samples = {MakeCycle(30), MakePath(30)};
+  const auto series = MeanKsConvergence(original, samples, DegreeValues);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);  // Identical first sample.
+  const double d2 = KolmogorovSmirnovStatistic(DegreeValues(original),
+                                               DegreeValues(MakePath(30)));
+  EXPECT_DOUBLE_EQ(series[1], d2 / 2.0);
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,90 @@
+// Tests for whole-graph summary statistics.
+
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace ksym {
+namespace {
+
+TEST(SummaryTest, EmptyGraph) {
+  Rng rng(1);
+  const GraphSummary s = ComputeGraphSummary(Graph(0), rng);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.diameter, 0u);
+}
+
+TEST(SummaryTest, PathGraphExactValues) {
+  Rng rng(2);
+  const GraphSummary s = ComputeGraphSummary(MakePath(5), rng);
+  EXPECT_EQ(s.diameter, 4u);
+  // Average over ordered connected pairs of P5:
+  // distances 1..4 with multiplicities 8,6,4,2 (ordered) = 40/20 = 2.
+  EXPECT_DOUBLE_EQ(s.average_path_length, 2.0);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.0);
+  EXPECT_DOUBLE_EQ(s.largest_component_fraction, 1.0);
+}
+
+TEST(SummaryTest, CompleteGraphValues) {
+  Rng rng(3);
+  const GraphSummary s = ComputeGraphSummary(MakeComplete(6), rng);
+  EXPECT_EQ(s.diameter, 1u);
+  EXPECT_DOUBLE_EQ(s.average_path_length, 1.0);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);
+}
+
+TEST(SummaryTest, CycleDiameter) {
+  Rng rng(4);
+  EXPECT_EQ(ComputeGraphSummary(MakeCycle(10), rng).diameter, 5u);
+  EXPECT_EQ(ComputeGraphSummary(MakeCycle(11), rng).diameter, 5u);
+}
+
+TEST(SummaryTest, StarIsDisassortative) {
+  Rng rng(5);
+  const GraphSummary s = ComputeGraphSummary(MakeStar(20), rng);
+  EXPECT_LT(s.degree_assortativity, 0.0);
+}
+
+TEST(SummaryTest, DisconnectedComponentFraction) {
+  Rng rng(6);
+  const Graph g = DisjointUnion(MakeComplete(6), MakePath(2));
+  const GraphSummary s = ComputeGraphSummary(g, rng);
+  EXPECT_DOUBLE_EQ(s.largest_component_fraction, 6.0 / 8.0);
+  EXPECT_EQ(s.diameter, 1u);  // Max within components: K6 diameter 1, P2 1.
+}
+
+TEST(SummaryTest, SampledModeApproximatesExact) {
+  Rng rng1(7);
+  Rng rng2(7);
+  const Graph g = MakeGrid(12, 12);  // 144 vertices.
+  const GraphSummary exact =
+      ComputeGraphSummary(g, rng1, /*exact_bfs_limit=*/1000);
+  const GraphSummary sampled =
+      ComputeGraphSummary(g, rng2, /*exact_bfs_limit=*/10,
+                          /*sample_sources=*/64);
+  EXPECT_LE(sampled.diameter, exact.diameter);
+  EXPECT_GE(sampled.diameter, exact.diameter / 2);
+  EXPECT_NEAR(sampled.average_path_length, exact.average_path_length,
+              exact.average_path_length * 0.25);
+}
+
+TEST(SummaryTest, TriangleHeavyGraphClusters) {
+  // Two triangles sharing a vertex.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(2, 4);
+  Rng rng(8);
+  const GraphSummary s = ComputeGraphSummary(b.Build(), rng);
+  // 2 triangles, triples: degrees 2,2,4,2,2 -> 1+1+6+1+1 = 10; 6/10.
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.6);
+}
+
+}  // namespace
+}  // namespace ksym

@@ -1,0 +1,105 @@
+// ksym_audit — command-line privacy auditor.
+//
+// Reads an edge list and reports its exposure to structural
+// re-identification: per-measure unique/under-k counts, the orbit-partition
+// exposure limit, and whether the graph already satisfies k-symmetry.
+//
+//   ksym_audit --input graph.edges [--k 5] [--tdv]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "attack/measures.h"
+#include "attack/reidentification.h"
+#include "aut/orbits.h"
+#include "common/timer.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr, "usage: ksym_audit --input graph.edges [--k K] [--tdv]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ksym;
+  std::string input;
+  uint32_t k = 5;
+  bool tdv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      input = next();
+    } else if (arg == "--k") {
+      k = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--tdv") {
+      tdv = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    Usage();
+    return 2;
+  }
+
+  const auto loaded = ReadEdgeListFile(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& graph = loaded->graph;
+  const DegreeStats stats = ComputeDegreeStats(graph);
+  std::printf("graph: %zu vertices, %zu edges, degree %zu..%zu (avg %.2f)\n",
+              stats.num_vertices, stats.num_edges, stats.min_degree,
+              stats.max_degree, stats.average_degree);
+
+  Timer timer;
+  const VertexPartition orbits = tdv
+                                     ? ComputeTotalDegreePartition(graph)
+                                     : ComputeAutomorphismPartition(graph);
+  std::printf("%s partition: %zu cells, %zu singletons (%.1f ms)%s\n",
+              tdv ? "TDV" : "orbit", orbits.NumCells(),
+              orbits.NumSingletons(), timer.ElapsedMillis(),
+              tdv ? "  [upper approximation of Orb(G)]" : "");
+
+  size_t under_k = 0;
+  size_t min_cell = graph.NumVertices();
+  for (const auto& cell : orbits.cells) {
+    if (cell.size() < k) under_k += cell.size();
+    if (cell.size() < min_cell) min_cell = cell.size();
+  }
+  std::printf("k=%u symmetry: %s (minimum cell size %zu; %zu vertices in "
+              "cells below k)\n",
+              k, under_k == 0 ? "SATISFIED" : "NOT satisfied", min_cell,
+              under_k);
+
+  std::printf("\n%-20s %10s %12s %8s %8s\n", "measure", "unique",
+              "under-k", "r_f", "s_f");
+  for (const auto& measure :
+       {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
+        NeighborhoodMeasure(), CombinedMeasure()}) {
+    const VertexPartition cells = PartitionByMeasure(graph, measure);
+    size_t exposed = 0;
+    for (const auto& cell : cells.cells) {
+      if (cell.size() < k) exposed += cell.size();
+    }
+    const ReidentificationStats r = CompareToOrbits(cells, orbits);
+    std::printf("%-20s %10zu %12zu %8.3f %8.3f\n", measure.name.c_str(),
+                r.measure_singletons, exposed, r.r_f, r.s_f);
+  }
+  return 0;
+}
