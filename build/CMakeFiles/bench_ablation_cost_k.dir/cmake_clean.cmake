@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cost_k.dir/bench/bench_ablation_cost_k.cc.o"
+  "CMakeFiles/bench_ablation_cost_k.dir/bench/bench_ablation_cost_k.cc.o.d"
+  "bench/bench_ablation_cost_k"
+  "bench/bench_ablation_cost_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cost_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

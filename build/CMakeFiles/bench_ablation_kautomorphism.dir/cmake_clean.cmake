@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kautomorphism.dir/bench/bench_ablation_kautomorphism.cc.o"
+  "CMakeFiles/bench_ablation_kautomorphism.dir/bench/bench_ablation_kautomorphism.cc.o.d"
+  "bench/bench_ablation_kautomorphism"
+  "bench/bench_ablation_kautomorphism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kautomorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kdegree.dir/bench/bench_ablation_kdegree.cc.o"
+  "CMakeFiles/bench_ablation_kdegree.dir/bench/bench_ablation_kdegree.cc.o.d"
+  "bench/bench_ablation_kdegree"
+  "bench/bench_ablation_kdegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kdegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minimal.dir/bench/bench_ablation_minimal.cc.o"
+  "CMakeFiles/bench_ablation_minimal.dir/bench/bench_ablation_minimal.cc.o.d"
+  "bench/bench_ablation_minimal"
+  "bench/bench_ablation_minimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

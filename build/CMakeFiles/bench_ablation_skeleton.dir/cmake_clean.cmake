@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_skeleton.dir/bench/bench_ablation_skeleton.cc.o"
+  "CMakeFiles/bench_ablation_skeleton.dir/bench/bench_ablation_skeleton.cc.o.d"
+  "bench/bench_ablation_skeleton"
+  "bench/bench_ablation_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tdv.dir/bench/bench_ablation_tdv.cc.o"
+  "CMakeFiles/bench_ablation_tdv.dir/bench/bench_ablation_tdv.cc.o.d"
+  "bench/bench_ablation_tdv"
+  "bench/bench_ablation_tdv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

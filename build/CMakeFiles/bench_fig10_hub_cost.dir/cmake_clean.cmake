@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hub_cost.dir/bench/bench_fig10_hub_cost.cc.o"
+  "CMakeFiles/bench_fig10_hub_cost.dir/bench/bench_fig10_hub_cost.cc.o.d"
+  "bench/bench_fig10_hub_cost"
+  "bench/bench_fig10_hub_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hub_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hub_utility.dir/bench/bench_fig11_hub_utility.cc.o"
+  "CMakeFiles/bench_fig11_hub_utility.dir/bench/bench_fig11_hub_utility.cc.o.d"
+  "bench/bench_fig11_hub_utility"
+  "bench/bench_fig11_hub_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hub_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

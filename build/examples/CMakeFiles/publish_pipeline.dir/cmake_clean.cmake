@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publish_pipeline.dir/publish_pipeline.cc.o"
+  "CMakeFiles/publish_pipeline.dir/publish_pipeline.cc.o.d"
+  "publish_pipeline"
+  "publish_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publish_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

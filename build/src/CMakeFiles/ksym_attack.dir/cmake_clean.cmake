@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_attack.dir/attack/measures.cc.o"
+  "CMakeFiles/ksym_attack.dir/attack/measures.cc.o.d"
+  "CMakeFiles/ksym_attack.dir/attack/reidentification.cc.o"
+  "CMakeFiles/ksym_attack.dir/attack/reidentification.cc.o.d"
+  "libksym_attack.a"
+  "libksym_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

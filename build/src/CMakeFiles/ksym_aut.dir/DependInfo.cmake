@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aut/canonical.cc" "src/CMakeFiles/ksym_aut.dir/aut/canonical.cc.o" "gcc" "src/CMakeFiles/ksym_aut.dir/aut/canonical.cc.o.d"
+  "/root/repo/src/aut/isomorphism.cc" "src/CMakeFiles/ksym_aut.dir/aut/isomorphism.cc.o" "gcc" "src/CMakeFiles/ksym_aut.dir/aut/isomorphism.cc.o.d"
+  "/root/repo/src/aut/orbits.cc" "src/CMakeFiles/ksym_aut.dir/aut/orbits.cc.o" "gcc" "src/CMakeFiles/ksym_aut.dir/aut/orbits.cc.o.d"
+  "/root/repo/src/aut/refinement.cc" "src/CMakeFiles/ksym_aut.dir/aut/refinement.cc.o" "gcc" "src/CMakeFiles/ksym_aut.dir/aut/refinement.cc.o.d"
+  "/root/repo/src/aut/search.cc" "src/CMakeFiles/ksym_aut.dir/aut/search.cc.o" "gcc" "src/CMakeFiles/ksym_aut.dir/aut/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ksym_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

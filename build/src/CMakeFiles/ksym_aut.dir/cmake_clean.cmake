@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_aut.dir/aut/canonical.cc.o"
+  "CMakeFiles/ksym_aut.dir/aut/canonical.cc.o.d"
+  "CMakeFiles/ksym_aut.dir/aut/isomorphism.cc.o"
+  "CMakeFiles/ksym_aut.dir/aut/isomorphism.cc.o.d"
+  "CMakeFiles/ksym_aut.dir/aut/orbits.cc.o"
+  "CMakeFiles/ksym_aut.dir/aut/orbits.cc.o.d"
+  "CMakeFiles/ksym_aut.dir/aut/refinement.cc.o"
+  "CMakeFiles/ksym_aut.dir/aut/refinement.cc.o.d"
+  "CMakeFiles/ksym_aut.dir/aut/search.cc.o"
+  "CMakeFiles/ksym_aut.dir/aut/search.cc.o.d"
+  "libksym_aut.a"
+  "libksym_aut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_aut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_baseline.dir/baseline/kcopy.cc.o"
+  "CMakeFiles/ksym_baseline.dir/baseline/kcopy.cc.o.d"
+  "CMakeFiles/ksym_baseline.dir/baseline/kdegree.cc.o"
+  "CMakeFiles/ksym_baseline.dir/baseline/kdegree.cc.o.d"
+  "CMakeFiles/ksym_baseline.dir/baseline/naive.cc.o"
+  "CMakeFiles/ksym_baseline.dir/baseline/naive.cc.o.d"
+  "CMakeFiles/ksym_baseline.dir/baseline/perturbation.cc.o"
+  "CMakeFiles/ksym_baseline.dir/baseline/perturbation.cc.o.d"
+  "libksym_baseline.a"
+  "libksym_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

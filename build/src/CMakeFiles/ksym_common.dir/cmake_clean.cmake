@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_common.dir/common/rng.cc.o"
+  "CMakeFiles/ksym_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ksym_common.dir/common/status.cc.o"
+  "CMakeFiles/ksym_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ksym_common.dir/common/str.cc.o"
+  "CMakeFiles/ksym_common.dir/common/str.cc.o.d"
+  "libksym_common.a"
+  "libksym_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libksym_common.a"
+)

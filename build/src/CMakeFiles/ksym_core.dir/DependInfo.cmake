@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ksym/anonymizer.cc" "src/CMakeFiles/ksym_core.dir/ksym/anonymizer.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/anonymizer.cc.o.d"
+  "/root/repo/src/ksym/backbone.cc" "src/CMakeFiles/ksym_core.dir/ksym/backbone.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/backbone.cc.o.d"
+  "/root/repo/src/ksym/equivalence.cc" "src/CMakeFiles/ksym_core.dir/ksym/equivalence.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/equivalence.cc.o.d"
+  "/root/repo/src/ksym/minimal.cc" "src/CMakeFiles/ksym_core.dir/ksym/minimal.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/minimal.cc.o.d"
+  "/root/repo/src/ksym/orbit_copy.cc" "src/CMakeFiles/ksym_core.dir/ksym/orbit_copy.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/orbit_copy.cc.o.d"
+  "/root/repo/src/ksym/partition.cc" "src/CMakeFiles/ksym_core.dir/ksym/partition.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/partition.cc.o.d"
+  "/root/repo/src/ksym/quotient.cc" "src/CMakeFiles/ksym_core.dir/ksym/quotient.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/quotient.cc.o.d"
+  "/root/repo/src/ksym/release_io.cc" "src/CMakeFiles/ksym_core.dir/ksym/release_io.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/release_io.cc.o.d"
+  "/root/repo/src/ksym/sampling.cc" "src/CMakeFiles/ksym_core.dir/ksym/sampling.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/sampling.cc.o.d"
+  "/root/repo/src/ksym/verifier.cc" "src/CMakeFiles/ksym_core.dir/ksym/verifier.cc.o" "gcc" "src/CMakeFiles/ksym_core.dir/ksym/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ksym_aut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

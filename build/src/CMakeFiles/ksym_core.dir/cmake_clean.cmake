@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_core.dir/ksym/anonymizer.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/anonymizer.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/backbone.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/backbone.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/equivalence.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/equivalence.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/minimal.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/minimal.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/orbit_copy.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/orbit_copy.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/partition.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/partition.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/quotient.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/quotient.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/release_io.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/release_io.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/sampling.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/sampling.cc.o.d"
+  "CMakeFiles/ksym_core.dir/ksym/verifier.cc.o"
+  "CMakeFiles/ksym_core.dir/ksym/verifier.cc.o.d"
+  "libksym_core.a"
+  "libksym_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_datasets.dir/datasets/datasets.cc.o"
+  "CMakeFiles/ksym_datasets.dir/datasets/datasets.cc.o.d"
+  "libksym_datasets.a"
+  "libksym_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

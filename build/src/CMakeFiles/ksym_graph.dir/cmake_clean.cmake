@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/ksym_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/ksym_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/ksym_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/ksym_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/ksym_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/ksym_graph.dir/graph/io.cc.o"
+  "CMakeFiles/ksym_graph.dir/graph/io.cc.o.d"
+  "libksym_graph.a"
+  "libksym_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

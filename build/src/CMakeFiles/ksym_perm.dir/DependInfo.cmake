@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perm/permutation.cc" "src/CMakeFiles/ksym_perm.dir/perm/permutation.cc.o" "gcc" "src/CMakeFiles/ksym_perm.dir/perm/permutation.cc.o.d"
+  "/root/repo/src/perm/schreier_sims.cc" "src/CMakeFiles/ksym_perm.dir/perm/schreier_sims.cc.o" "gcc" "src/CMakeFiles/ksym_perm.dir/perm/schreier_sims.cc.o.d"
+  "/root/repo/src/perm/union_find.cc" "src/CMakeFiles/ksym_perm.dir/perm/union_find.cc.o" "gcc" "src/CMakeFiles/ksym_perm.dir/perm/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ksym_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

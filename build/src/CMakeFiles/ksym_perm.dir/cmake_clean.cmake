@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_perm.dir/perm/permutation.cc.o"
+  "CMakeFiles/ksym_perm.dir/perm/permutation.cc.o.d"
+  "CMakeFiles/ksym_perm.dir/perm/schreier_sims.cc.o"
+  "CMakeFiles/ksym_perm.dir/perm/schreier_sims.cc.o.d"
+  "CMakeFiles/ksym_perm.dir/perm/union_find.cc.o"
+  "CMakeFiles/ksym_perm.dir/perm/union_find.cc.o.d"
+  "libksym_perm.a"
+  "libksym_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

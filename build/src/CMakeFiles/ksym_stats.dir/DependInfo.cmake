@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/aggregate.cc" "src/CMakeFiles/ksym_stats.dir/stats/aggregate.cc.o" "gcc" "src/CMakeFiles/ksym_stats.dir/stats/aggregate.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/ksym_stats.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/ksym_stats.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/ks.cc" "src/CMakeFiles/ksym_stats.dir/stats/ks.cc.o" "gcc" "src/CMakeFiles/ksym_stats.dir/stats/ks.cc.o.d"
+  "/root/repo/src/stats/resilience.cc" "src/CMakeFiles/ksym_stats.dir/stats/resilience.cc.o" "gcc" "src/CMakeFiles/ksym_stats.dir/stats/resilience.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/ksym_stats.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/ksym_stats.dir/stats/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ksym_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

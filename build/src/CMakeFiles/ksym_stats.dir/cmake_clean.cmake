@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_stats.dir/stats/aggregate.cc.o"
+  "CMakeFiles/ksym_stats.dir/stats/aggregate.cc.o.d"
+  "CMakeFiles/ksym_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/ksym_stats.dir/stats/distributions.cc.o.d"
+  "CMakeFiles/ksym_stats.dir/stats/ks.cc.o"
+  "CMakeFiles/ksym_stats.dir/stats/ks.cc.o.d"
+  "CMakeFiles/ksym_stats.dir/stats/resilience.cc.o"
+  "CMakeFiles/ksym_stats.dir/stats/resilience.cc.o.d"
+  "CMakeFiles/ksym_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/ksym_stats.dir/stats/summary.cc.o.d"
+  "libksym_stats.a"
+  "libksym_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

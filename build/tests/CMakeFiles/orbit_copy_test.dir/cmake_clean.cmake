@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_copy_test.dir/orbit_copy_test.cc.o"
+  "CMakeFiles/orbit_copy_test.dir/orbit_copy_test.cc.o.d"
+  "orbit_copy_test"
+  "orbit_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/orbits_test.cc" "tests/CMakeFiles/orbits_test.dir/orbits_test.cc.o" "gcc" "tests/CMakeFiles/orbits_test.dir/orbits_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ksym_aut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ksym_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

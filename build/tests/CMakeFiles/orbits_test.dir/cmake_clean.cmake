@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbits_test.dir/orbits_test.cc.o"
+  "CMakeFiles/orbits_test.dir/orbits_test.cc.o.d"
+  "orbits_test"
+  "orbits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_io_test.dir/release_io_test.cc.o"
+  "CMakeFiles/release_io_test.dir/release_io_test.cc.o.d"
+  "release_io_test"
+  "release_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schreier_sims_test.dir/schreier_sims_test.cc.o"
+  "CMakeFiles/schreier_sims_test.dir/schreier_sims_test.cc.o.d"
+  "schreier_sims_test"
+  "schreier_sims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schreier_sims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

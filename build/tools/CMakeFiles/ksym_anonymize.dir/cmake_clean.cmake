@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_anonymize.dir/ksym_anonymize.cc.o"
+  "CMakeFiles/ksym_anonymize.dir/ksym_anonymize.cc.o.d"
+  "ksym_anonymize"
+  "ksym_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_audit.dir/ksym_audit.cc.o"
+  "CMakeFiles/ksym_audit.dir/ksym_audit.cc.o.d"
+  "ksym_audit"
+  "ksym_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksym_sample.dir/ksym_sample.cc.o"
+  "CMakeFiles/ksym_sample.dir/ksym_sample.cc.o.d"
+  "ksym_sample"
+  "ksym_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksym_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

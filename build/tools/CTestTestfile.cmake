@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_pipeline "sh" "-c" "set -e;     dir=\$(mktemp -d);     printf '0 1\\n0 2\\n0 3\\n1 2\\n3 4\\n4 5\\n4 6\\n5 6\\n' > \$dir/g.edges;     /root/repo/build/tools/ksym_audit --input \$dir/g.edges --k 3;     /root/repo/build/tools/ksym_anonymize --input \$dir/g.edges --output \$dir/r.ksym --k 3;     /root/repo/build/tools/ksym_sample --release \$dir/r.ksym --output-prefix \$dir/s --samples 2;     test -s \$dir/s.0.edges && test -s \$dir/s.1.edges;     /root/repo/build/tools/ksym_audit --input \$dir/s.0.edges --k 1;     rm -rf \$dir")
+set_tests_properties(tools_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
