@@ -1,9 +1,20 @@
-// Microbenchmarks (google-benchmark) for the core primitives: equitable
-// refinement, automorphism search, orbit copying / anonymization, backbone
-// detection, and the two samplers. Complements the figure benches, which
-// measure end-to-end shapes rather than throughput.
+// Microbenchmarks (google-benchmark) for the core primitives: neighbor
+// scans over the CSR core (against the seed's vector-of-vectors layout),
+// equitable refinement, automorphism search, orbit copying / anonymization
+// (including the end-to-end pipeline), backbone detection, and the two
+// samplers. Complements the figure benches, which measure end-to-end shapes
+// rather than throughput.
+//
+// Run with no arguments to also write machine-readable JSON to
+// BENCH_pr1.json (override with the usual --benchmark_out= flags). Graph
+// memory footprints (Graph::MemoryBytes) and process peak RSS are attached
+// as counters, so the bench trajectory tracks space as well as time.
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <cstring>
+#include <vector>
 
 #include "aut/orbits.h"
 #include "aut/refinement.h"
@@ -33,6 +44,146 @@ const VertexPartition& HepthOrbits() {
   return *orbits;
 }
 
+/// A large sparse social-network-shaped graph for the neighbor-scan
+/// benches: 1M vertices / ~8M edges, big enough that the working set
+/// spills out of cache and layout effects dominate.
+const Graph& BigScanGraph() {
+  static const Graph* graph = [] {
+    Rng rng(42);
+    return new Graph(BarabasiAlbert(1000000, 8, rng));
+  }();
+  return *graph;
+}
+
+/// A medium graph for the large refinement bench, sized so one refinement
+/// pass takes milliseconds rather than seconds.
+const Graph& BigRefineGraph() {
+  static const Graph* graph = [] {
+    Rng rng(42);
+    return new Graph(BarabasiAlbert(200000, 4, rng));
+  }();
+  return *graph;
+}
+
+double PeakRssMegabytes() {
+  struct rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB -> MiB.
+}
+
+void AttachMemoryCounters(benchmark::State& state, const Graph& graph) {
+  state.counters["graph_mem_bytes"] =
+      benchmark::Counter(static_cast<double>(graph.MemoryBytes()));
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMegabytes());
+}
+
+// The seed representation this PR replaced: one heap-allocated vector per
+// vertex, grown by push_back exactly as the pre-CSR GraphBuilder did.
+// Kept here so the neighbor-scan before/after is measured in one binary.
+std::vector<std::vector<VertexId>> VectorOfVectorsAdjacency(
+    const Graph& graph) {
+  std::vector<std::vector<VertexId>> adjacency(graph.NumVertices());
+  graph.ForEachEdge([&adjacency](VertexId u, VertexId v) {
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  });
+  return adjacency;
+}
+
+size_t LegacyAdjacencyBytes(const std::vector<std::vector<VertexId>>& lists) {
+  size_t bytes = sizeof(lists[0]) * lists.capacity();
+  for (const auto& list : lists) bytes += list.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+void BM_NeighborScanCsr(benchmark::State& state) {
+  const Graph& graph = BigScanGraph();
+  const VertexId n = static_cast<VertexId>(graph.NumVertices());
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : graph.Neighbors(u)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * graph.NumEdges()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_NeighborScanCsr);
+
+// Vertex visit order for the shuffled-scan benches: refinement and BFS
+// touch neighbor lists in data-dependent order, not 0..n-1, so this is the
+// access pattern where layout (one flat array vs one heap block per
+// vertex) actually decides cache behavior.
+const std::vector<VertexId>& ShuffledOrder(size_t n) {
+  static const std::vector<VertexId>* order = [n] {
+    auto* v = new std::vector<VertexId>(n);
+    for (size_t i = 0; i < n; ++i) (*v)[i] = static_cast<VertexId>(i);
+    Rng rng(7);
+    for (size_t i = n; i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[rng.NextBounded(i)]);
+    }
+    return v;
+  }();
+  return *order;
+}
+
+void BM_NeighborScanShuffledCsr(benchmark::State& state) {
+  const Graph& graph = BigScanGraph();
+  const auto& order = ShuffledOrder(graph.NumVertices());
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (VertexId u : order) {
+      for (VertexId v : graph.Neighbors(u)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * graph.NumEdges()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_NeighborScanShuffledCsr);
+
+void BM_NeighborScanShuffledVectorOfVectors(benchmark::State& state) {
+  const Graph& graph = BigScanGraph();
+  const auto adjacency = VectorOfVectorsAdjacency(graph);
+  const auto& order = ShuffledOrder(graph.NumVertices());
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (VertexId u : order) {
+      for (VertexId v : adjacency[u]) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * graph.NumEdges()));
+  state.counters["graph_mem_bytes"] = benchmark::Counter(
+      static_cast<double>(LegacyAdjacencyBytes(adjacency)));
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMegabytes());
+}
+BENCHMARK(BM_NeighborScanShuffledVectorOfVectors);
+
+void BM_NeighborScanVectorOfVectors(benchmark::State& state) {
+  const Graph& graph = BigScanGraph();
+  const auto adjacency = VectorOfVectorsAdjacency(graph);
+  const VertexId n = static_cast<VertexId>(graph.NumVertices());
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : adjacency[u]) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * graph.NumEdges()));
+  state.counters["graph_mem_bytes"] = benchmark::Counter(
+      static_cast<double>(LegacyAdjacencyBytes(adjacency)));
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMegabytes());
+}
+BENCHMARK(BM_NeighborScanVectorOfVectors);
+
 void BM_EquitableRefinement(benchmark::State& state) {
   const Graph& graph = HepthGraph();
   for (auto _ : state) {
@@ -40,14 +191,27 @@ void BM_EquitableRefinement(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(graph.NumVertices()));
+  AttachMemoryCounters(state, graph);
 }
 BENCHMARK(BM_EquitableRefinement);
+
+void BM_EquitableRefinementBig(benchmark::State& state) {
+  const Graph& graph = BigRefineGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EquitablePartition(graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_EquitableRefinementBig);
 
 void BM_AutomorphismSearchEnron(benchmark::State& state) {
   const Graph& graph = EnronGraph();
   for (auto _ : state) {
     benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
   }
+  AttachMemoryCounters(state, graph);
 }
 BENCHMARK(BM_AutomorphismSearchEnron);
 
@@ -56,6 +220,7 @@ void BM_AutomorphismSearchHepth(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
   }
+  AttachMemoryCounters(state, graph);
 }
 BENCHMARK(BM_AutomorphismSearchHepth);
 
@@ -78,8 +243,28 @@ void BM_AnonymizeHepth(benchmark::State& state) {
     auto result = AnonymizeWithPartition(graph, orbits, options);
     benchmark::DoNotOptimize(result);
   }
+  AttachMemoryCounters(state, graph);
 }
 BENCHMARK(BM_AnonymizeHepth)->Arg(2)->Arg(5)->Arg(10);
+
+// End to end: orbit computation + orbit copying + freeze, the full publish
+// pipeline a data owner runs per release.
+void BM_AnonymizeEndToEndHepth(benchmark::State& state) {
+  const Graph& graph = HepthGraph();
+  AnonymizationOptions options;
+  options.k = static_cast<uint32_t>(state.range(0));
+  size_t released_mem = 0;
+  for (auto _ : state) {
+    auto result = Anonymize(graph, options);
+    KSYM_CHECK(result.ok());
+    released_mem = result->graph.MemoryBytes();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["released_graph_mem_bytes"] =
+      benchmark::Counter(static_cast<double>(released_mem));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_AnonymizeEndToEndHepth)->Arg(2)->Arg(5);
 
 void BM_BackboneDetectionHepth(benchmark::State& state) {
   AnonymizationOptions options;
@@ -90,6 +275,7 @@ void BM_BackboneDetectionHepth(benchmark::State& state) {
     benchmark::DoNotOptimize(ComputeBackbone(release->graph,
                                              release->partition));
   }
+  AttachMemoryCounters(state, release->graph);
 }
 BENCHMARK(BM_BackboneDetectionHepth);
 
@@ -104,6 +290,7 @@ void BM_ApproxSampleHepth(benchmark::State& state) {
         release->graph, release->partition, release->original_vertices, rng);
     benchmark::DoNotOptimize(sample);
   }
+  AttachMemoryCounters(state, release->graph);
 }
 BENCHMARK(BM_ApproxSampleHepth);
 
@@ -118,10 +305,33 @@ void BM_ExactSampleHepth(benchmark::State& state) {
                                       release->original_vertices, rng);
     benchmark::DoNotOptimize(sample);
   }
+  AttachMemoryCounters(state, release->graph);
 }
 BENCHMARK(BM_ExactSampleHepth);
 
 }  // namespace
 }  // namespace ksym
 
-BENCHMARK_MAIN();
+// Custom main: defaults JSON output to BENCH_pr1.json so every run leaves a
+// machine-readable trace, while still honouring explicit --benchmark_out=.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_pr1.json";
+  static char out_format[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(out_format);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -87,11 +87,17 @@ StructuralMeasure NeighborhoodMeasure() {
             constexpr size_t kExactLimit = 64;
             std::vector<std::vector<uint64_t>> keys;
             keys.reserve(graph.NumVertices());
+            // One shared extractor: pulling n ego networks through
+            // InducedSubgraph would pay an O(n) remap allocation each, an
+            // O(n^2) total; the extractor's scratch makes each pull
+            // O(ego size).
+            SubgraphExtractor extractor(graph);
+            std::vector<VertexId> ego;
             for (VertexId v = 0; v < graph.NumVertices(); ++v) {
-              std::vector<VertexId> ego = {v};
+              ego.assign(1, v);
               const auto neighbors = graph.Neighbors(v);
               ego.insert(ego.end(), neighbors.begin(), neighbors.end());
-              const Graph subgraph = InducedSubgraph(graph, ego);
+              const Graph subgraph = extractor.Extract(ego);
               // Mark the centre (index 0 of `ego`) so the class is rooted.
               std::vector<uint32_t> colors(ego.size(), 0);
               colors[0] = 1;

@@ -8,21 +8,18 @@
 namespace ksym {
 namespace {
 
-std::vector<std::pair<VertexId, VertexId>> RelabeledEdges(
-    const Graph& graph, const Permutation& lab) {
-  std::vector<std::pair<VertexId, VertexId>> edges;
+// Writes the relabelled, normalized, sorted edge list of `graph` under
+// labelling `lab` into `edges` (reused across leaves).
+void RelabeledEdgesInto(const Graph& graph, const Permutation& lab,
+                        std::vector<std::pair<VertexId, VertexId>>& edges) {
+  edges.clear();
   edges.reserve(graph.NumEdges());
-  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+  graph.ForEachEdge([&lab, &edges](VertexId u, VertexId v) {
     const VertexId lu = lab.Image(u);
-    for (VertexId v : graph.Neighbors(u)) {
-      if (u < v) {
-        const VertexId lv = lab.Image(v);
-        edges.emplace_back(std::min(lu, lv), std::max(lu, lv));
-      }
-    }
-  }
+    const VertexId lv = lab.Image(v);
+    edges.emplace_back(std::min(lu, lv), std::max(lu, lv));
+  });
   std::sort(edges.begin(), edges.end());
-  return edges;
 }
 
 // Explores the full individualization-refinement tree keeping the leaf with
@@ -132,7 +129,8 @@ class CanonSearcher {
 
   void HandleLeaf(const OrderedPartition& p, size_t depth) {
     Permutation lab = p.ToLabeling();
-    auto edges = RelabeledEdges(graph_, lab);
+    std::vector<std::pair<VertexId, VertexId>>& edges = leaf_edges_;
+    RelabeledEdgesInto(graph_, lab, edges);
 
     if (!have_first_) {
       have_first_ = true;
@@ -209,6 +207,8 @@ class CanonSearcher {
   std::vector<std::pair<VertexId, VertexId>> best_edges_;
 
   std::vector<Permutation> generators_;
+  // Scratch: relabelled edge list of the current leaf, reused across leaves.
+  std::vector<std::pair<VertexId, VertexId>> leaf_edges_;
 };
 
 }  // namespace

@@ -1,7 +1,6 @@
 #include "aut/orbits.h"
 
 #include <algorithm>
-#include <map>
 
 #include "aut/refinement.h"
 #include "aut/search.h"
@@ -19,22 +18,26 @@ size_t VertexPartition::NumSingletons() const {
 VertexPartition VertexPartition::FromRepresentatives(
     const std::vector<VertexId>& rep) {
   const size_t n = rep.size();
-  // Group by representative, ordered by the cell's minimum element. Since
-  // representatives produced by the orbit machinery are minima, a map keyed
-  // by representative gives that order directly.
-  std::map<VertexId, std::vector<VertexId>> by_rep;
-  for (VertexId v = 0; v < n; ++v) {
-    by_rep[rep[v]].push_back(v);
-  }
+  // Group by representative, ordered by the cell's minimum element. The
+  // orbit machinery emits minima as representatives, so rep[r] == r exactly
+  // for cell representatives and scanning vertices in id order assigns cell
+  // indices in min-element order — two flat passes, no associative
+  // container.
   VertexPartition partition;
   partition.cell_of.assign(n, 0);
-  partition.cells.reserve(by_rep.size());
-  for (auto& [key, members] : by_rep) {
-    (void)key;
-    std::sort(members.begin(), members.end());
-    const uint32_t cell_index = static_cast<uint32_t>(partition.cells.size());
-    for (VertexId v : members) partition.cell_of[v] = cell_index;
-    partition.cells.push_back(std::move(members));
+  std::vector<uint32_t> cell_of_rep(n, static_cast<uint32_t>(-1));
+  uint32_t num_cells = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    KSYM_DCHECK(rep[v] < n);
+    KSYM_DCHECK(rep[v] <= v);  // Representatives are minima.
+    if (cell_of_rep[rep[v]] == static_cast<uint32_t>(-1)) {
+      cell_of_rep[rep[v]] = num_cells++;
+    }
+    partition.cell_of[v] = cell_of_rep[rep[v]];
+  }
+  partition.cells.resize(num_cells);
+  for (VertexId v = 0; v < n; ++v) {
+    partition.cells[partition.cell_of[v]].push_back(v);  // Sorted by scan.
   }
   return partition;
 }

@@ -147,26 +147,28 @@ Refiner::Refiner(const Graph& graph)
 }
 
 uint64_t Refiner::RefineAll(OrderedPartition& p) {
-  std::vector<uint32_t> worklist;
+  worklist_.clear();
   uint32_t pos = 0;
   const uint32_t n = static_cast<uint32_t>(p.NumVertices());
   while (pos < n) {
-    worklist.push_back(pos);
+    worklist_.push_back(pos);
     pos += p.CellSizeAt(pos);
   }
-  return DoRefine(p, std::move(worklist));
+  return DoRefine(p);
 }
 
 uint64_t Refiner::RefineFrom(OrderedPartition& p, uint32_t seed_start) {
-  return DoRefine(p, {seed_start});
+  worklist_.clear();
+  worklist_.push_back(seed_start);
+  return DoRefine(p);
 }
 
-uint64_t Refiner::DoRefine(OrderedPartition& p,
-                           std::vector<uint32_t> worklist) {
+uint64_t Refiner::DoRefine(OrderedPartition& p) {
   uint64_t hash = 0x243F6A8885A308D3ull;
   size_t head = 0;
   // Scratch buffers live on the Refiner: this runs millions of times per
   // automorphism search and per-call allocation dominates otherwise.
+  std::vector<uint32_t>& worklist = worklist_;
   std::vector<VertexId>& splitter = splitter_;
   std::vector<uint32_t>& affected = affected_;
   std::vector<std::pair<uint32_t, VertexId>>& keyed = keyed_;

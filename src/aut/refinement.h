@@ -111,12 +111,14 @@ class Refiner {
   uint64_t RefineFrom(OrderedPartition& p, uint32_t seed_start);
 
  private:
-  uint64_t DoRefine(OrderedPartition& p, std::vector<uint32_t> worklist);
+  /// Refines using the splitter cells currently queued in worklist_.
+  uint64_t DoRefine(OrderedPartition& p);
 
   const Graph& graph_;
   std::vector<uint32_t> count_;    // Scratch: neighbour counts.
   std::vector<VertexId> touched_;  // Scratch: vertices with count > 0.
   // Scratch buffers reused across DoRefine calls (allocation-free refines).
+  std::vector<uint32_t> worklist_;
   std::vector<VertexId> splitter_;
   std::vector<uint32_t> affected_;
   std::vector<std::pair<uint32_t, VertexId>> keyed_;

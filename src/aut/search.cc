@@ -10,23 +10,18 @@ namespace ksym {
 namespace {
 
 // Relabelled, normalized, sorted edge list of `graph` under labelling
-// `lab` (vertex -> position). Two leaves are automorphic images of each
-// other iff these lists are equal.
-std::vector<std::pair<VertexId, VertexId>> RelabeledEdges(
-    const Graph& graph, const Permutation& lab) {
-  std::vector<std::pair<VertexId, VertexId>> edges;
+// `lab` (vertex -> position), written into `edges` (reused across leaves).
+// Two leaves are automorphic images of each other iff these lists are equal.
+void RelabeledEdgesInto(const Graph& graph, const Permutation& lab,
+                        std::vector<std::pair<VertexId, VertexId>>& edges) {
+  edges.clear();
   edges.reserve(graph.NumEdges());
-  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+  graph.ForEachEdge([&lab, &edges](VertexId u, VertexId v) {
     const VertexId lu = lab.Image(u);
-    for (VertexId v : graph.Neighbors(u)) {
-      if (u < v) {
-        const VertexId lv = lab.Image(v);
-        edges.emplace_back(std::min(lu, lv), std::max(lu, lv));
-      }
-    }
-  }
+    const VertexId lv = lab.Image(v);
+    edges.emplace_back(std::min(lu, lv), std::max(lu, lv));
+  });
   std::sort(edges.begin(), edges.end());
-  return edges;
 }
 
 class AutSearcher {
@@ -155,7 +150,8 @@ class AutSearcher {
 
   Outcome HandleLeaf(const OrderedPartition& p) {
     Permutation lab = p.ToLabeling();
-    auto edges = RelabeledEdges(graph_, lab);
+    std::vector<std::pair<VertexId, VertexId>>& edges = leaf_edges_;
+    RelabeledEdgesInto(graph_, lab, edges);
     if (!have_first_) {
       have_first_ = true;
       first_labeling_ = std::move(lab);
@@ -184,6 +180,8 @@ class AutSearcher {
   std::vector<uint64_t> first_inv_;  // Invariant trace of the leftmost path.
   Permutation first_labeling_;
   std::vector<std::pair<VertexId, VertexId>> first_edges_;
+  // Scratch: relabelled edge list of the current leaf, reused across leaves.
+  std::vector<std::pair<VertexId, VertexId>> leaf_edges_;
 
   std::vector<Permutation> generators_;
   UnionFind global_orbits_;

@@ -9,12 +9,11 @@ Result<KCopyResult> KCopyAnonymize(const Graph& graph, uint32_t k) {
   KCopyResult result;
   result.original_vertices = n;
   GraphBuilder builder(n * k);
-  const auto edges = graph.Edges();
   for (uint32_t copy = 0; copy < k; ++copy) {
     const VertexId offset = static_cast<VertexId>(copy * n);
-    for (const auto& [u, v] : edges) {
+    graph.ForEachEdge([&builder, offset](VertexId u, VertexId v) {
       builder.AddEdge(u + offset, v + offset);
-    }
+    });
   }
   result.graph = builder.Build();
   result.vertices_added = (k - 1) * n;

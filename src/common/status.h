@@ -120,6 +120,17 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
+  /// The value, or `fallback` on error. Rvalue Results move the value out,
+  /// so `std::move(result).value_or(...)` never copies.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
  private:
   Status status_;  // OK iff value_ holds a value.
   std::optional<T> value_;
@@ -134,5 +145,25 @@ class Result {
     ::ksym::Status ksym_status_ = (expr);       \
     if (!ksym_status_.ok()) return ksym_status_; \
   } while (0)
+
+/// Evaluates a Result<T> expression; on success *moves* the value into
+/// `lhs` (avoiding the copy that `x = result.value()` on an lvalue Result
+/// silently makes), on error returns the Status. `lhs` may declare a new
+/// variable or assign an existing one:
+///
+///   KSYM_ASSIGN_OR_RETURN(Graph graph, ReadEdgeList(in));
+///
+/// Usable in functions returning Status or Result<U>.
+#define KSYM_ASSIGN_OR_RETURN(lhs, expr) \
+  KSYM_ASSIGN_OR_RETURN_IMPL_(           \
+      KSYM_STATUS_MACRO_CONCAT_(ksym_result_, __LINE__), lhs, expr)
+
+#define KSYM_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define KSYM_STATUS_MACRO_CONCAT_(a, b) KSYM_STATUS_MACRO_CONCAT_IMPL_(a, b)
+#define KSYM_STATUS_MACRO_CONCAT_IMPL_(a, b) a##b
 
 #endif  // KSYM_COMMON_STATUS_H_

@@ -44,11 +44,13 @@ size_t LargestComponentSize(const Graph& graph) {
   return *std::max_element(info.sizes.begin(), info.sizes.end());
 }
 
-std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source) {
+void BfsDistancesInto(const Graph& graph, VertexId source,
+                      std::vector<int64_t>& dist,
+                      std::vector<VertexId>& queue) {
   const size_t n = graph.NumVertices();
   KSYM_DCHECK(source < n);
-  std::vector<int64_t> dist(n, -1);
-  std::vector<VertexId> queue;
+  dist.assign(n, -1);
+  queue.clear();
   queue.reserve(n);
   dist[source] = 0;
   queue.push_back(source);
@@ -63,22 +65,31 @@ std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source) {
       }
     }
   }
+}
+
+std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source) {
+  std::vector<int64_t> dist;
+  std::vector<VertexId> queue;
+  BfsDistancesInto(graph, source, dist, queue);
   return dist;
 }
 
 std::vector<uint64_t> TriangleCounts(const Graph& graph) {
   const size_t n = graph.NumVertices();
   std::vector<uint64_t> tri(n, 0);
-  // For each edge (u, v) with u < v, intersect sorted neighbor lists; each
+  // For each edge (u, v) with u < v, intersect sorted neighbor ranges; each
   // common neighbor w closes a triangle {u, v, w}. To count each triangle
   // once per edge scan, only consider w > v; then credit all three corners.
+  // The flat sorted ranges make both the forward suffix (> u) and the
+  // intersection suffix (> v) contiguous: one binary search per vertex, and
+  // the > v suffix of u's range starts right after v's own slot.
   for (VertexId u = 0; u < n; ++u) {
     const auto nu = graph.Neighbors(u);
-    for (VertexId v : nu) {
-      if (v <= u) continue;
+    for (auto itv = std::upper_bound(nu.begin(), nu.end(), u);
+         itv != nu.end(); ++itv) {
+      const VertexId v = *itv;
       const auto nv = graph.Neighbors(v);
-      // Merge-intersect the suffixes with entries > v.
-      auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+      auto iu = itv + 1;  // First entry of nu greater than v.
       auto iv = std::upper_bound(nv.begin(), nv.end(), v);
       while (iu != nu.end() && iv != nv.end()) {
         if (*iu < *iv) {
@@ -119,35 +130,52 @@ std::vector<double> ClusteringCoefficients(const Graph& graph) {
   return cc;
 }
 
+SubgraphExtractor::SubgraphExtractor(const Graph& graph)
+    : graph_(graph), to_new_(graph.NumVertices(), kInvalidVertex) {}
+
+Graph SubgraphExtractor::Extract(std::span<const VertexId> vertices) {
+  const size_t m = vertices.size();
+  for (size_t i = 0; i < m; ++i) {
+    KSYM_DCHECK(vertices[i] < graph_.NumVertices());
+    KSYM_DCHECK(to_new_[vertices[i]] == kInvalidVertex);  // No duplicates.
+    to_new_[vertices[i]] = static_cast<VertexId>(i);
+  }
+  // Assemble CSR directly: count surviving neighbours per member, prefix-sum
+  // into offsets, scatter, then sort each range (the id remap is not
+  // monotone in general, so source order does not survive).
+  std::vector<EdgeIndex> offsets(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    size_t kept = 0;
+    for (VertexId w : graph_.Neighbors(vertices[i])) {
+      kept += to_new_[w] != kInvalidVertex;
+    }
+    offsets[i + 1] = offsets[i] + kept;
+  }
+  std::vector<VertexId> neighbors(offsets[m]);
+  for (size_t i = 0; i < m; ++i) {
+    VertexId* out = neighbors.data() + offsets[i];
+    for (VertexId w : graph_.Neighbors(vertices[i])) {
+      const VertexId j = to_new_[w];
+      if (j != kInvalidVertex) *out++ = j;
+    }
+    std::sort(neighbors.data() + offsets[i], out);
+  }
+  for (VertexId v : vertices) to_new_[v] = kInvalidVertex;  // Reset scratch.
+  return Graph::FromCsr(std::move(offsets), std::move(neighbors));
+}
+
 Graph InducedSubgraph(const Graph& graph,
                       const std::vector<VertexId>& vertices) {
-  std::vector<VertexId> to_new(graph.NumVertices(), kInvalidVertex);
-  for (size_t i = 0; i < vertices.size(); ++i) {
-    KSYM_DCHECK(vertices[i] < graph.NumVertices());
-    KSYM_DCHECK(to_new[vertices[i]] == kInvalidVertex);  // No duplicates.
-    to_new[vertices[i]] = static_cast<VertexId>(i);
-  }
-  GraphBuilder builder(vertices.size());
-  for (size_t i = 0; i < vertices.size(); ++i) {
-    for (VertexId w : graph.Neighbors(vertices[i])) {
-      const VertexId j = to_new[w];
-      if (j != kInvalidVertex && static_cast<VertexId>(i) < j) {
-        builder.AddEdge(static_cast<VertexId>(i), j);
-      }
-    }
-  }
-  return builder.Build();
+  return SubgraphExtractor(graph).Extract(vertices);
 }
 
 Graph RelabelGraph(const Graph& graph, const std::vector<VertexId>& perm) {
   const size_t n = graph.NumVertices();
   KSYM_CHECK(perm.size() == n);
   GraphBuilder builder(n);
-  for (VertexId u = 0; u < n; ++u) {
-    for (VertexId v : graph.Neighbors(u)) {
-      if (u < v) builder.AddEdge(perm[u], perm[v]);
-    }
-  }
+  graph.ForEachEdge([&builder, &perm](VertexId u, VertexId v) {
+    builder.AddEdge(perm[u], perm[v]);
+  });
   Graph out = builder.Build();
   KSYM_CHECK(out.NumEdges() == graph.NumEdges());  // perm was a bijection.
   return out;
@@ -156,8 +184,10 @@ Graph RelabelGraph(const Graph& graph, const std::vector<VertexId>& perm) {
 Graph DisjointUnion(const Graph& a, const Graph& b) {
   const VertexId offset = static_cast<VertexId>(a.NumVertices());
   GraphBuilder builder(a.NumVertices() + b.NumVertices());
-  for (const auto& [u, v] : a.Edges()) builder.AddEdge(u, v);
-  for (const auto& [u, v] : b.Edges()) builder.AddEdge(u + offset, v + offset);
+  a.ForEachEdge([&builder](VertexId u, VertexId v) { builder.AddEdge(u, v); });
+  b.ForEachEdge([&builder, offset](VertexId u, VertexId v) {
+    builder.AddEdge(u + offset, v + offset);
+  });
   return builder.Build();
 }
 

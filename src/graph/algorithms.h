@@ -6,6 +6,7 @@
 #define KSYM_GRAPH_ALGORITHMS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -35,6 +36,11 @@ size_t LargestComponentSize(const Graph& graph);
 /// BFS distances from `source`; unreachable vertices get -1.
 std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source);
 
+/// Allocation-free variant for repeated BFS sweeps: `dist` is resized and
+/// reset, `queue` is reused as scratch. Semantics match BfsDistances.
+void BfsDistancesInto(const Graph& graph, VertexId source,
+                      std::vector<int64_t>& dist, std::vector<VertexId>& queue);
+
 /// Per-vertex triangle counts: tri(v) = number of triangles through v.
 /// Runs in O(sum_over_edges min(deg)) using sorted-adjacency merge.
 std::vector<uint64_t> TriangleCounts(const Graph& graph);
@@ -50,6 +56,22 @@ std::vector<double> ClusteringCoefficients(const Graph& graph);
 /// duplicate-free). Vertex i of the result corresponds to vertices[i];
 /// `vertices` itself is the result-to-input mapping.
 Graph InducedSubgraph(const Graph& graph, const std::vector<VertexId>& vertices);
+
+/// Extracts induced subgraphs with reusable O(n) scratch. Callers that pull
+/// many subgraphs out of one large graph (ego networks, backbone cells)
+/// would otherwise pay an O(n) allocation + clear per extraction; the
+/// extractor resets only the entries it touched.
+class SubgraphExtractor {
+ public:
+  explicit SubgraphExtractor(const Graph& graph);
+
+  /// Same contract as InducedSubgraph(graph, vertices).
+  Graph Extract(std::span<const VertexId> vertices);
+
+ private:
+  const Graph& graph_;
+  std::vector<VertexId> to_new_;  // kInvalidVertex except inside Extract.
+};
 
 /// Relabels the graph by permutation `perm` where perm[v] is the new id of
 /// old vertex v. perm must be a bijection on [0, n).

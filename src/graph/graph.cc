@@ -4,35 +4,51 @@
 
 namespace ksym {
 
-Graph::Graph(size_t num_vertices) : adjacency_(num_vertices) {}
+Graph Graph::FromCsr(std::vector<EdgeIndex> offsets,
+                     std::vector<VertexId> neighbors) {
+  KSYM_CHECK(!offsets.empty());
+  KSYM_CHECK(offsets.front() == 0);
+  KSYM_CHECK(offsets.back() == neighbors.size());
+  KSYM_CHECK(neighbors.size() % 2 == 0);  // Symmetric adjacency.
+#ifndef NDEBUG
+  const size_t n = offsets.size() - 1;
+  for (size_t v = 0; v < n; ++v) {
+    KSYM_DCHECK(offsets[v] <= offsets[v + 1]);
+    for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+      KSYM_DCHECK(neighbors[i] < n);
+      KSYM_DCHECK(neighbors[i] != v);  // No self-loops.
+      KSYM_DCHECK(i == offsets[v] || neighbors[i - 1] < neighbors[i]);
+    }
+  }
+#endif
+  Graph graph;
+  graph.offsets_ = std::move(offsets);
+  graph.neighbors_ = std::move(neighbors);
+  return graph;
+}
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
-  KSYM_DCHECK(u < adjacency_.size());
-  KSYM_DCHECK(v < adjacency_.size());
-  // Search the shorter list.
-  const std::vector<VertexId>& adj =
-      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
-                                                   : adjacency_[v];
-  const VertexId target =
-      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
-  return std::binary_search(adj.begin(), adj.end(), target);
+  KSYM_DCHECK(u + 1 < offsets_.size());
+  KSYM_DCHECK(v + 1 < offsets_.size());
+  // Search the shorter range.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const VertexId* lo = neighbors_.data() + offsets_[u];
+  const VertexId* hi = neighbors_.data() + offsets_[u + 1];
+  return std::binary_search(lo, hi, v);
 }
 
 std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
   std::vector<std::pair<VertexId, VertexId>> edges;
-  edges.reserve(num_edges_);
-  for (VertexId u = 0; u < adjacency_.size(); ++u) {
-    for (VertexId v : adjacency_[u]) {
-      if (u < v) edges.emplace_back(u, v);
-    }
-  }
+  edges.reserve(NumEdges());
+  ForEachEdge([&edges](VertexId u, VertexId v) { edges.emplace_back(u, v); });
   return edges;
 }
 
 std::vector<size_t> Graph::Degrees() const {
-  std::vector<size_t> degrees(adjacency_.size());
-  for (size_t v = 0; v < adjacency_.size(); ++v) {
-    degrees[v] = adjacency_[v].size();
+  const size_t n = NumVertices();
+  std::vector<size_t> degrees(n);
+  for (size_t v = 0; v < n; ++v) {
+    degrees[v] = static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
   }
   return degrees;
 }
@@ -60,20 +76,38 @@ Graph GraphBuilder::Build() const {
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
+  // Counting-sort straight into CSR: count degrees, prefix-sum into
+  // offsets, then scatter with per-vertex cursors. Scanning the (u, v)
+  // pairs in lexicographic order fills every range sorted: u first receives
+  // its back-neighbours w < u (from edges (w, u), all scanned earlier in
+  // increasing w order), then its forward neighbours v > u in increasing v
+  // order.
   Graph graph(num_vertices_);
+  graph.offsets_.assign(num_vertices_ + 1, 0);
   for (const auto& [u, v] : edges) {
-    graph.adjacency_[u].push_back(v);
-    graph.adjacency_[v].push_back(u);
+    ++graph.offsets_[u + 1];
+    ++graph.offsets_[v + 1];
   }
-  for (auto& adj : graph.adjacency_) {
-    std::sort(adj.begin(), adj.end());
+  for (size_t i = 1; i <= num_vertices_; ++i) {
+    graph.offsets_[i] += graph.offsets_[i - 1];
   }
-  graph.num_edges_ = edges.size();
+  graph.neighbors_.resize(2 * edges.size());
+  std::vector<EdgeIndex> cursor(graph.offsets_.begin(),
+                                graph.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    graph.neighbors_[cursor[u]++] = v;
+    graph.neighbors_[cursor[v]++] = u;
+  }
   return graph;
 }
 
 MutableGraph::MutableGraph(const Graph& graph)
-    : adjacency_(graph.adjacency_), num_edges_(graph.num_edges_) {}
+    : adjacency_(graph.NumVertices()), num_edges_(graph.NumEdges()) {
+  for (VertexId v = 0; v < adjacency_.size(); ++v) {
+    const auto neighbors = graph.Neighbors(v);
+    adjacency_[v].assign(neighbors.begin(), neighbors.end());
+  }
+}
 
 VertexId MutableGraph::AddVertex() {
   adjacency_.emplace_back();
@@ -102,13 +136,21 @@ void MutableGraph::AddEdge(VertexId u, VertexId v) {
 }
 
 Graph MutableGraph::Freeze() const {
-  Graph graph(adjacency_.size());
-  graph.adjacency_ = adjacency_;
-  for (auto& adj : graph.adjacency_) {
-    std::sort(adj.begin(), adj.end());
-    KSYM_DCHECK(std::adjacent_find(adj.begin(), adj.end()) == adj.end());
+  const size_t n = adjacency_.size();
+  Graph graph(n);
+  graph.offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    graph.offsets_[v + 1] = graph.offsets_[v] + adjacency_[v].size();
   }
-  graph.num_edges_ = num_edges_;
+  graph.neighbors_.resize(graph.offsets_[n]);
+  for (size_t v = 0; v < n; ++v) {
+    VertexId* range = graph.neighbors_.data() + graph.offsets_[v];
+    std::copy(adjacency_[v].begin(), adjacency_[v].end(), range);
+    std::sort(range, range + adjacency_[v].size());
+    KSYM_DCHECK(std::adjacent_find(range, range + adjacency_[v].size()) ==
+                range + adjacency_[v].size());
+  }
+  KSYM_DCHECK(graph.neighbors_.size() == 2 * num_edges_);
   return graph;
 }
 

@@ -6,6 +6,28 @@
 // [0, NumVertices()), adjacency lists are sorted, and every undirected edge
 // {u, v} appears in both lists.
 //
+// Memory layout (CSR / compressed sparse row). The immutable Graph stores
+// exactly two flat arrays:
+//
+//   offsets_   n + 1 monotone entries; vertex v's neighbours live at
+//              neighbors_[offsets_[v] .. offsets_[v + 1])
+//   neighbors_ 2 * |E| vertex ids, each per-vertex range sorted ascending
+//              and duplicate-free
+//
+// Invariants:
+//   - offsets_.front() == 0, offsets_.back() == neighbors_.size(),
+//     offsets_ is non-decreasing.
+//   - Every range [offsets_[v], offsets_[v+1]) is strictly increasing and
+//     never contains v itself (simple graph).
+//   - Symmetry: u appears in v's range iff v appears in u's range, so
+//     neighbors_.size() is even and NumEdges() == neighbors_.size() / 2.
+//
+// A full neighbour sweep is one linear pass over a contiguous array — no
+// per-vertex heap allocation, no pointer chasing — which is what the hot
+// refinement / search / sampling loops rely on. Construction is a
+// counting-sort (GraphBuilder::Build, MutableGraph::Freeze); Graph::FromCsr
+// adopts already-built arrays with no copy.
+//
 // `GraphBuilder` assembles a Graph from arbitrary edge insertions
 // (deduplicating and dropping self-loops), and `MutableGraph` supports the
 // incremental vertex/edge insertion that the anonymization procedure
@@ -14,6 +36,7 @@
 #ifndef KSYM_GRAPH_GRAPH_H_
 #define KSYM_GRAPH_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -25,29 +48,42 @@ namespace ksym {
 
 using VertexId = uint32_t;
 
+/// Index type into the flat neighbor array (2 * |E| entries, which can
+/// exceed 32 bits on billion-edge graphs).
+using EdgeIndex = uint64_t;
+
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 
 /// An immutable simple undirected graph with dense vertex ids and sorted
-/// adjacency lists. Copyable and movable.
+/// adjacency lists, stored in CSR form (see the file comment for layout and
+/// invariants). Copyable and movable.
 class Graph {
  public:
   /// An empty graph with `num_vertices` isolated vertices.
-  explicit Graph(size_t num_vertices = 0);
+  explicit Graph(size_t num_vertices = 0) : offsets_(num_vertices + 1, 0) {}
 
-  size_t NumVertices() const { return adjacency_.size(); }
+  /// Adopts prebuilt CSR arrays without copying. `offsets` must have n + 1
+  /// monotone entries ending at `neighbors.size()`, and every per-vertex
+  /// range must be sorted, duplicate-free, self-loop-free, and symmetric
+  /// (checked in debug builds).
+  static Graph FromCsr(std::vector<EdgeIndex> offsets,
+                       std::vector<VertexId> neighbors);
+
+  size_t NumVertices() const { return offsets_.size() - 1; }
 
   /// Number of undirected edges.
-  size_t NumEdges() const { return num_edges_; }
+  size_t NumEdges() const { return neighbors_.size() / 2; }
 
   /// Sorted neighbors of `v`.
   std::span<const VertexId> Neighbors(VertexId v) const {
-    KSYM_DCHECK(v < adjacency_.size());
-    return adjacency_[v];
+    KSYM_DCHECK(v + 1 < offsets_.size());
+    return {neighbors_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
   }
 
   size_t Degree(VertexId v) const {
-    KSYM_DCHECK(v < adjacency_.size());
-    return adjacency_[v].size();
+    KSYM_DCHECK(v + 1 < offsets_.size());
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
   }
 
   /// O(log deg) membership test for the undirected edge {u, v}.
@@ -56,21 +92,47 @@ class Graph {
   /// All undirected edges with u < v, in lexicographic order.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 
+  /// Visits every undirected edge as fn(u, v) with u < v, in lexicographic
+  /// order, without materializing an edge list. Each vertex's forward
+  /// neighbours (> u) are a contiguous suffix of its sorted range, found by
+  /// one binary search — no transpose or scratch needed.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    const VertexId n = static_cast<VertexId>(NumVertices());
+    for (VertexId u = 0; u < n; ++u) {
+      const VertexId* lo = neighbors_.data() + offsets_[u];
+      const VertexId* hi = neighbors_.data() + offsets_[u + 1];
+      for (const VertexId* it = std::upper_bound(lo, hi, u); it != hi; ++it) {
+        fn(u, *it);
+      }
+    }
+  }
+
   /// Degrees of all vertices, indexed by vertex id.
   std::vector<size_t> Degrees() const;
+
+  /// Raw CSR arrays, for flat-layout passes (bench, serialization).
+  std::span<const EdgeIndex> RawOffsets() const { return offsets_; }
+  std::span<const VertexId> RawNeighbors() const { return neighbors_; }
+
+  /// Heap bytes held by this graph (capacity-based, excluding sizeof(*this)).
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(EdgeIndex) +
+           neighbors_.capacity() * sizeof(VertexId);
+  }
 
   /// Structural equality: same vertex count and identical adjacency. This is
   /// *labelled* equality, not isomorphism.
   friend bool operator==(const Graph& a, const Graph& b) {
-    return a.adjacency_ == b.adjacency_;
+    return a.offsets_ == b.offsets_ && a.neighbors_ == b.neighbors_;
   }
 
  private:
   friend class GraphBuilder;
   friend class MutableGraph;
 
-  std::vector<std::vector<VertexId>> adjacency_;
-  size_t num_edges_ = 0;
+  std::vector<EdgeIndex> offsets_;    // n + 1 entries; see file comment.
+  std::vector<VertexId> neighbors_;   // 2 * |E| entries, sorted per range.
 };
 
 /// Accumulates edges and produces a valid Graph. Self-loops are dropped and
@@ -92,8 +154,9 @@ class GraphBuilder {
 
   size_t NumVertices() const { return num_vertices_; }
 
-  /// Builds the graph. The builder can be reused afterwards (it keeps its
-  /// state); typical callers just let it go out of scope.
+  /// Builds the graph directly in CSR form via counting-sort. The builder
+  /// can be reused afterwards (it keeps its state); typical callers just let
+  /// it go out of scope.
   Graph Build() const;
 
  private:
@@ -130,7 +193,7 @@ class MutableGraph {
     return adjacency_[v].size();
   }
 
-  /// Sorts adjacency lists and returns the immutable graph.
+  /// Produces the immutable CSR graph (per-vertex ranges sorted on the way).
   Graph Freeze() const;
 
  private:

@@ -42,20 +42,26 @@ BackboneResult ComputeBackbone(const Graph& graph,
   BackboneResult result;
   std::vector<bool> alive(n, true);
 
+  // Scratch reused across cells and sweeps: member index (flat, reset only
+  // at touched entries), BFS queue, and the subgraph extractor's remap.
+  std::vector<uint32_t> index_of(n, static_cast<uint32_t>(-1));
+  std::vector<uint32_t> queue;
+  std::vector<VertexId> members;
+  SubgraphExtractor extractor(graph);
+
   bool changed = true;
   while (changed) {
     changed = false;
     for (uint32_t cell = 0; cell < partition.cells.size(); ++cell) {
-      std::vector<VertexId> members;
+      members.clear();
       for (VertexId v : partition.cells[cell]) {
         if (alive[v]) members.push_back(v);
       }
       if (members.size() <= 1) continue;
 
       // Index of each member within `members`.
-      std::map<VertexId, uint32_t> member_index;
       for (uint32_t i = 0; i < members.size(); ++i) {
-        member_index.emplace(members[i], i);
+        index_of[members[i]] = i;
       }
 
       // L(V) colours: one colour per distinct alive external neighbourhood.
@@ -78,23 +84,27 @@ BackboneResult ComputeBackbone(const Graph& graph,
       for (uint32_t start = 0; start < members.size(); ++start) {
         if (comp[start] != static_cast<uint32_t>(-1)) continue;
         const uint32_t c = num_comps++;
-        std::vector<uint32_t> queue = {start};
+        queue.clear();
+        queue.push_back(start);
         comp[start] = c;
         size_t head = 0;
         while (head < queue.size()) {
           const uint32_t i = queue[head++];
           for (VertexId u : graph.Neighbors(members[i])) {
             if (!alive[u] || partition.cell_of[u] != cell) continue;
-            const auto it = member_index.find(u);
-            KSYM_DCHECK(it != member_index.end());
-            if (comp[it->second] == static_cast<uint32_t>(-1)) {
-              comp[it->second] = c;
-              queue.push_back(it->second);
+            const uint32_t j = index_of[u];
+            KSYM_DCHECK(j != static_cast<uint32_t>(-1));
+            if (comp[j] == static_cast<uint32_t>(-1)) {
+              comp[j] = c;
+              queue.push_back(j);
             }
           }
         }
       }
-      if (num_comps <= 1) continue;
+      if (num_comps <= 1) {
+        for (VertexId v : members) index_of[v] = static_cast<uint32_t>(-1);
+        continue;
+      }
 
       // Extract components (in order of minimum member, which keeps the
       // lowest-id — typically original — component as the representative).
@@ -103,12 +113,13 @@ BackboneResult ComputeBackbone(const Graph& graph,
         components[comp[i]].members.push_back(members[i]);
       }
       for (CellComponent& component : components) {
-        component.subgraph = InducedSubgraph(graph, component.members);
+        component.subgraph = extractor.Extract(component.members);
         component.colors.resize(component.members.size());
         for (size_t i = 0; i < component.members.size(); ++i) {
-          component.colors[i] = color[member_index.at(component.members[i])];
+          component.colors[i] = color[index_of[component.members[i]]];
         }
       }
+      for (VertexId v : members) index_of[v] = static_cast<uint32_t>(-1);
       std::sort(components.begin(), components.end(),
                 [](const CellComponent& a, const CellComponent& b) {
                   return a.members.front() < b.members.front();
@@ -143,7 +154,7 @@ BackboneResult ComputeBackbone(const Graph& graph,
   for (VertexId v = 0; v < n; ++v) {
     if (alive[v]) result.kept.push_back(v);
   }
-  result.graph = InducedSubgraph(graph, result.kept);
+  result.graph = extractor.Extract(result.kept);
   std::vector<VertexId> to_new(n, kInvalidVertex);
   for (size_t i = 0; i < result.kept.size(); ++i) {
     to_new[result.kept[i]] = static_cast<VertexId>(i);

@@ -18,26 +18,34 @@ std::vector<VertexId> MinimalCopyUnit(const Graph& graph,
                                       const VertexPartition& partition,
                                       uint32_t cell) {
   const std::vector<VertexId>& members = partition.cells[cell];
-  std::map<VertexId, uint32_t> index;
-  for (uint32_t i = 0; i < members.size(); ++i) index.emplace(members[i], i);
+  // Partition cells are sorted, so membership and member index both resolve
+  // with one binary search — no per-cell associative container.
+  KSYM_DCHECK(std::is_sorted(members.begin(), members.end()));
+  const auto index_of = [&members](VertexId u) -> uint32_t {
+    const auto it = std::lower_bound(members.begin(), members.end(), u);
+    if (it == members.end() || *it != u) return static_cast<uint32_t>(-1);
+    return static_cast<uint32_t>(it - members.begin());
+  };
 
   // Components of G[cell].
   std::vector<uint32_t> comp(members.size(), static_cast<uint32_t>(-1));
   uint32_t num_comps = 0;
+  std::vector<uint32_t> queue;
   for (uint32_t start = 0; start < members.size(); ++start) {
     if (comp[start] != static_cast<uint32_t>(-1)) continue;
     const uint32_t c = num_comps++;
-    std::vector<uint32_t> queue = {start};
+    queue.clear();
+    queue.push_back(start);
     comp[start] = c;
     size_t head = 0;
     while (head < queue.size()) {
       const uint32_t i = queue[head++];
       for (VertexId u : graph.Neighbors(members[i])) {
-        const auto it = index.find(u);
-        if (it == index.end()) continue;
-        if (comp[it->second] == static_cast<uint32_t>(-1)) {
-          comp[it->second] = c;
-          queue.push_back(it->second);
+        const uint32_t j = index_of(u);
+        if (j == static_cast<uint32_t>(-1)) continue;
+        if (comp[j] == static_cast<uint32_t>(-1)) {
+          comp[j] = c;
+          queue.push_back(j);
         }
       }
     }
@@ -64,7 +72,7 @@ std::vector<VertexId> MinimalCopyUnit(const Graph& graph,
   auto component_colors = [&](const std::vector<VertexId>& vertices) {
     std::vector<uint32_t> colors;
     colors.reserve(vertices.size());
-    for (VertexId v : vertices) colors.push_back(color[index.at(v)]);
+    for (VertexId v : vertices) colors.push_back(color[index_of(v)]);
     return colors;
   };
 

@@ -1,6 +1,6 @@
 #include "ksym/orbit_copy.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace ksym {
 
@@ -9,20 +9,25 @@ std::vector<VertexId> OrbitCopy(MutableGraph& graph,
                                 uint32_t cell_index,
                                 std::span<const VertexId> unit) {
   KSYM_CHECK(!unit.empty());
+  KSYM_DCHECK(std::is_sorted(unit.begin(), unit.end()));
 
-  std::unordered_map<VertexId, VertexId> copy_of;
-  copy_of.reserve(unit.size());
   std::vector<VertexId> copies;
   copies.reserve(unit.size());
 
-  // Create all copies first so intra-unit edges can be wired pairwise.
+  // Create all copies first so intra-unit edges can be wired pairwise. The
+  // copy of unit[i] is copies[i]; `unit` is sorted, so a unit member's copy
+  // is found by binary search instead of a per-call hash map.
   for (VertexId v : unit) {
     KSYM_DCHECK(partition.CellOf(v) == cell_index);
     const VertexId v_copy = graph.AddVertex();
     partition.AddCopy(v_copy, cell_index, v);
-    copy_of.emplace(v, v_copy);
     copies.push_back(v_copy);
   }
+  const auto copy_of = [&unit, &copies](VertexId u) {
+    const auto it = std::lower_bound(unit.begin(), unit.end(), u);
+    KSYM_CHECK(it != unit.end() && *it == u);
+    return copies[static_cast<size_t>(it - unit.begin())];
+  };
 
   for (size_t i = 0; i < unit.size(); ++i) {
     const VertexId v = unit[i];
@@ -33,13 +38,11 @@ std::vector<VertexId> OrbitCopy(MutableGraph& graph,
         graph.AddEdge(u, v_copy);
       } else {
         // Rule 2: intra-unit edges are mirrored between the copies. The
-        // unit must be intra-cell closed, so u has a copy; add each
-        // mirrored edge once (from the lower-indexed endpoint).
-        auto it = copy_of.find(u);
-        KSYM_CHECK(it != copy_of.end());
-        if (v < u) {
-          graph.AddEdge(v_copy, it->second);
-        }
+        // unit must be intra-cell closed, so u has a copy (checked in
+        // copy_of); add each mirrored edge once (from the lower-indexed
+        // endpoint).
+        const VertexId u_copy = copy_of(u);
+        if (v < u) graph.AddEdge(v_copy, u_copy);
       }
     }
   }

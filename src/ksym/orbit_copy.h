@@ -24,10 +24,12 @@
 namespace ksym {
 
 /// Applies one orbit copying operation to `graph`/`partition`, duplicating
-/// `unit` (a subset of cell `cell_index` closed under intra-cell adjacency:
-/// every intra-cell neighbour of a unit vertex must itself be in the unit —
-/// this holds for whole cells, for the original members of augmented cells,
-/// and for unions of connected components of the cell-induced subgraph).
+/// `unit` (a *sorted* subset of cell `cell_index` closed under intra-cell
+/// adjacency: every intra-cell neighbour of a unit vertex must itself be in
+/// the unit — this holds for whole cells, for the original members of
+/// augmented cells, and for unions of connected components of the
+/// cell-induced subgraph). Sortedness lets intra-unit copies be resolved by
+/// binary search with no per-call map; partition cells are always sorted.
 ///
 /// Returns the new vertex ids, aligned with `unit`.
 std::vector<VertexId> OrbitCopy(MutableGraph& graph,

@@ -14,18 +14,15 @@ QuotientResult ComputeQuotient(const Graph& graph,
   }
 
   GraphBuilder builder(num_cells);
-  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+  graph.ForEachEdge([&](VertexId u, VertexId v) {
     const uint32_t cu = partition.cell_of[u];
-    for (VertexId v : graph.Neighbors(u)) {
-      if (u >= v) continue;
-      const uint32_t cv = partition.cell_of[v];
-      if (cu == cv) {
-        result.has_internal_edges[cu] = true;
-      } else {
-        builder.AddEdge(cu, cv);  // Builder deduplicates.
-      }
+    const uint32_t cv = partition.cell_of[v];
+    if (cu == cv) {
+      result.has_internal_edges[cu] = true;
+    } else {
+      builder.AddEdge(cu, cv);  // Builder deduplicates.
     }
-  }
+  });
   result.graph = builder.Build();
   return result;
 }

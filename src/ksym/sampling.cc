@@ -65,8 +65,9 @@ Result<Graph> ExactBackboneSample(const Graph& graph,
   int64_t budget = static_cast<int64_t>(target_vertices) -
                    static_cast<int64_t>(backbone.graph.NumVertices());
   size_t copy_ops = 0;
+  std::vector<double> feasible;  // Hoisted: one fill per draw, no realloc.
   while (budget > 0) {
-    std::vector<double> feasible(num_backbone_cells, 0.0);
+    feasible.assign(num_backbone_cells, 0.0);
     bool any = false;
     for (uint32_t b = 0; b < num_backbone_cells; ++b) {
       const size_t unit = backbone.partition.cells[b].size();
@@ -128,8 +129,9 @@ Result<Graph> ApproximateBackboneSample(const Graph& graph,
   std::vector<size_t> quota(num_cells, 1);
   int64_t budget = static_cast<int64_t>(target_vertices) -
                    static_cast<int64_t>(num_cells);
+  std::vector<double> feasible;  // Hoisted: one fill per draw, no realloc.
   while (budget > 0) {
-    std::vector<double> feasible(num_cells, 0.0);
+    feasible.assign(num_cells, 0.0);
     bool any = false;
     for (size_t i = 0; i < num_cells; ++i) {
       if (quota[i] < partition.cells[i].size()) {

@@ -31,13 +31,14 @@ std::vector<double> SampledPathLengths(const Graph& graph, size_t num_pairs,
   const size_t max_attempts = num_pairs * 20;
   VertexId cached_source = kInvalidVertex;
   std::vector<int64_t> cached_dist;
+  std::vector<VertexId> bfs_queue;  // Reused across BFS sweeps.
   while (lengths.size() < num_pairs && attempts < max_attempts) {
     ++attempts;
     const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
     const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
     if (u == v) continue;
     if (u != cached_source) {
-      cached_dist = BfsDistances(graph, u);
+      BfsDistancesInto(graph, u, cached_dist, bfs_queue);
       cached_source = u;
     }
     if (cached_dist[v] < 0) continue;  // Different components.

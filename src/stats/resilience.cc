@@ -23,15 +23,17 @@ std::vector<std::pair<double, double>> ResilienceCurve(const Graph& graph,
   });
 
   curve.reserve(num_points);
+  SubgraphExtractor extractor(graph);  // Reuses O(n) scratch per point.
+  std::vector<VertexId> survivors;
   for (size_t i = 0; i < num_points; ++i) {
     const double fraction =
         num_points == 1 ? 0.0
                         : max_fraction * static_cast<double>(i) /
                               static_cast<double>(num_points - 1);
     const size_t removed = static_cast<size_t>(fraction * static_cast<double>(n));
-    std::vector<VertexId> survivors(order.begin() + removed, order.end());
+    survivors.assign(order.begin() + removed, order.end());
     std::sort(survivors.begin(), survivors.end());
-    const Graph sub = InducedSubgraph(graph, survivors);
+    const Graph sub = extractor.Extract(survivors);
     const double lcc = static_cast<double>(LargestComponentSize(sub));
     curve.emplace_back(fraction, lcc / static_cast<double>(n));
   }

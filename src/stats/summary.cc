@@ -33,8 +33,10 @@ GraphSummary ComputeGraphSummary(const Graph& graph, Rng& rng,
   uint64_t path_sum = 0;
   uint64_t path_count = 0;
   size_t diameter = 0;
+  std::vector<int64_t> dist;        // Reused across BFS sources.
+  std::vector<VertexId> bfs_queue;
   for (VertexId source : sources) {
-    const auto dist = BfsDistances(graph, source);
+    BfsDistancesInto(graph, source, dist, bfs_queue);
     for (VertexId v = 0; v < n; ++v) {
       if (dist[v] > 0) {
         path_sum += static_cast<uint64_t>(dist[v]);

@@ -105,5 +105,60 @@ TEST(ErrorsTest, StatusPropagationMacro) {
   EXPECT_EQ(s.message(), "inner");
 }
 
+TEST(ErrorsTest, ResultValueOr) {
+  const Result<int> good(42);
+  EXPECT_EQ(good.value_or(-1), 42);
+  const Result<int> bad(Status::NotFound("missing"));
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ErrorsTest, ResultValueOrMovesFromRvalue) {
+  Result<std::vector<int>> good(std::vector<int>{1, 2, 3});
+  const std::vector<int> taken = std::move(good).value_or(std::vector<int>{});
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(good.value().empty());  // Moved-from, not copied.
+
+  Result<std::vector<int>> bad(Status::Internal("boom"));
+  EXPECT_EQ(std::move(bad).value_or(std::vector<int>{9}),
+            std::vector<int>{9});
+}
+
+TEST(ErrorsTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::Infeasible("nope"); };
+  auto outer = [&]() -> Status {
+    KSYM_ASSIGN_OR_RETURN(int x, fails());
+    (void)x;
+    return Status::Internal("unreachable");
+  };
+  const Status s = outer();
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.message(), "nope");
+}
+
+TEST(ErrorsTest, AssignOrReturnDeclaresAndAssigns) {
+  auto make = [](int v) -> Result<int> { return v; };
+  auto outer = [&]() -> Result<int> {
+    KSYM_ASSIGN_OR_RETURN(int x, make(20));
+    KSYM_ASSIGN_OR_RETURN(x, make(x + 2));  // Assign to existing variable.
+    return x * 2;
+  };
+  const Result<int> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 44);
+}
+
+TEST(ErrorsTest, AssignOrReturnMovesTheValue) {
+  auto make = []() -> Result<std::vector<int>> {
+    return std::vector<int>(1000, 7);
+  };
+  auto outer = [&]() -> Result<size_t> {
+    KSYM_ASSIGN_OR_RETURN(const std::vector<int> values, make());
+    return values.size();
+  };
+  const Result<size_t> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1000u);
+}
+
 }  // namespace
 }  // namespace ksym

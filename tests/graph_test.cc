@@ -1,11 +1,60 @@
-// Tests for the Graph / GraphBuilder / MutableGraph core.
+// Tests for the Graph / GraphBuilder / MutableGraph core, including
+// property-style invariant checks of the CSR representation on random edge
+// soups.
 
 #include "graph/graph.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace ksym {
 namespace {
+
+// Asserts the CSR invariants that every valid Graph must satisfy: sorted
+// duplicate-free self-loop-free adjacency, edge symmetry, degree sum
+// = 2 * |E|, and agreement between Neighbors/Edges/HasEdge/ForEachEdge.
+void ExpectGraphInvariants(const Graph& g) {
+  const size_t n = g.NumVertices();
+  size_t degree_sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto neighbors = g.Neighbors(v);
+    ASSERT_EQ(neighbors.size(), g.Degree(v));
+    degree_sum += neighbors.size();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ASSERT_LT(neighbors[i], n);
+      ASSERT_NE(neighbors[i], v);  // No self-loops.
+      if (i > 0) {
+        ASSERT_LT(neighbors[i - 1], neighbors[i]);  // Sorted + unique.
+      }
+      // Symmetry: v must appear in the neighbour's list.
+      const auto back = g.Neighbors(neighbors[i]);
+      ASSERT_TRUE(std::binary_search(back.begin(), back.end(), v));
+      ASSERT_TRUE(g.HasEdge(v, neighbors[i]));
+      ASSERT_TRUE(g.HasEdge(neighbors[i], v));
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * g.NumEdges());
+
+  // Edges() agrees with the adjacency and with ForEachEdge.
+  const auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), g.NumEdges());
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  std::vector<std::pair<VertexId, VertexId>> visited;
+  g.ForEachEdge([&visited](VertexId u, VertexId v) {
+    ASSERT_LT(u, v);
+    visited.emplace_back(u, v);
+  });
+  EXPECT_EQ(visited, edges);
+  for (const auto& [u, v] : edges) {
+    EXPECT_TRUE(g.HasEdge(u, v));
+  }
+}
 
 TEST(GraphTest, EmptyGraph) {
   Graph g(0);
@@ -140,6 +189,112 @@ TEST(MutableGraphTest, FreezeRoundTripsOriginal) {
   b.AddEdge(3, 4);
   const Graph original = b.Build();
   EXPECT_TRUE(MutableGraph(original).Freeze() == original);
+}
+
+TEST(GraphTest, FromCsrAdoptsArrays) {
+  // Path 0-1-2: offsets {0, 1, 3, 4}, neighbors {1, 0, 2, 1}.
+  const Graph g = Graph::FromCsr({0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  ExpectGraphInvariants(g);
+
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  EXPECT_TRUE(g == b.Build());
+}
+
+TEST(GraphTest, MemoryBytesTracksSize) {
+  EXPECT_GT(Graph(1).MemoryBytes(), 0u);  // Offsets alone take space.
+  GraphBuilder b(100);
+  for (VertexId v = 0; v + 1 < 100; ++v) b.AddEdge(v, v + 1);
+  const Graph g = b.Build();
+  // At least the tight CSR payload: (n + 1) offsets + 2|E| neighbor ids.
+  EXPECT_GE(g.MemoryBytes(),
+            101 * sizeof(EdgeIndex) + 2 * 99 * sizeof(VertexId));
+}
+
+TEST(GraphTest, RawArraysMatchAccessors) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  const auto offsets = g.RawOffsets();
+  const auto neighbors = g.RawNeighbors();
+  ASSERT_EQ(offsets.size(), g.NumVertices() + 1);
+  ASSERT_EQ(neighbors.size(), 2 * g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto span = g.Neighbors(v);
+    ASSERT_EQ(static_cast<size_t>(offsets[v + 1] - offsets[v]), span.size());
+    EXPECT_EQ(neighbors.data() + offsets[v], span.data());
+  }
+}
+
+// Property test: arbitrary edge soups (duplicates, reversed duplicates,
+// self-loops, out-of-order) always produce a Graph satisfying the CSR
+// invariants, and the edge set matches an independently computed one.
+TEST(GraphPropertyTest, RandomEdgeSoupBuildsValidGraph) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.NextBounded(40);
+    const size_t num_inserts = rng.NextBounded(4 * n + 1);
+    GraphBuilder builder(n);
+    std::set<std::pair<VertexId, VertexId>> expected;
+    for (size_t e = 0; e < num_inserts; ++e) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      builder.AddEdge(u, v);
+      if (u != v) expected.insert({std::min(u, v), std::max(u, v)});
+    }
+    const Graph g = builder.Build();
+    ASSERT_EQ(g.NumVertices(), n);
+    ASSERT_EQ(g.NumEdges(), expected.size());
+    ExpectGraphInvariants(g);
+    const auto edges = g.Edges();
+    EXPECT_TRUE(std::equal(edges.begin(), edges.end(), expected.begin(),
+                           expected.end()));
+  }
+}
+
+// Property test: MutableGraph round-trips — Freeze() of a mutated graph
+// satisfies the invariants and equals an independently built graph.
+TEST(GraphPropertyTest, MutableGraphRoundTripsRandomGrowth) {
+  Rng rng(987);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.NextBounded(30);
+    GraphBuilder seed_builder(n);
+    for (size_t e = 0; e < 2 * n; ++e) {
+      seed_builder.AddEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                           static_cast<VertexId>(rng.NextBounded(n)));
+    }
+    const Graph seed = seed_builder.Build();
+
+    // Grow: add vertices and fresh edges, mirroring into a parallel builder.
+    MutableGraph mutable_graph(seed);
+    GraphBuilder mirror = seed_builder;
+    for (int step = 0; step < 10; ++step) {
+      if (rng.NextBounded(2) == 0) {
+        const VertexId added = mutable_graph.AddVertex();
+        EXPECT_EQ(added, mirror.AddVertex());
+      } else {
+        const size_t m = mutable_graph.NumVertices();
+        const VertexId u = static_cast<VertexId>(rng.NextBounded(m));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(m));
+        if (u == v || mutable_graph.HasEdge(u, v)) continue;
+        mutable_graph.AddEdge(u, v);
+        mirror.AddEdge(u, v);
+      }
+    }
+    const Graph frozen = mutable_graph.Freeze();
+    ExpectGraphInvariants(frozen);
+    EXPECT_TRUE(frozen == mirror.Build());
+    // Round-trip again through MutableGraph without changes.
+    EXPECT_TRUE(MutableGraph(frozen).Freeze() == frozen);
+  }
 }
 
 }  // namespace
