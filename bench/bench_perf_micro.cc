@@ -6,9 +6,12 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr1.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr2.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
-// as counters, so the bench trajectory tracks space as well as time.
+// as counters, so the bench trajectory tracks space as well as time; the
+// thread-scaling sweeps (BM_RefineAllThreads*) record how sharded
+// refinement scales at 1/2/4/8 threads, and the end-to-end anonymize bench
+// attaches the pipeline's RefinementStats.
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
@@ -18,6 +21,7 @@
 
 #include "aut/orbits.h"
 #include "aut/refinement.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "datasets/datasets.h"
 #include "graph/generators.h"
@@ -187,7 +191,7 @@ BENCHMARK(BM_NeighborScanVectorOfVectors);
 void BM_EquitableRefinement(benchmark::State& state) {
   const Graph& graph = HepthGraph();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(EquitablePartition(graph));
+    benchmark::DoNotOptimize(EquitablePartition(graph, RefinementOptions{}));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(graph.NumVertices()));
@@ -198,13 +202,52 @@ BENCHMARK(BM_EquitableRefinement);
 void BM_EquitableRefinementBig(benchmark::State& state) {
   const Graph& graph = BigRefineGraph();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(EquitablePartition(graph));
+    benchmark::DoNotOptimize(EquitablePartition(graph, RefinementOptions{}));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(graph.NumVertices()));
   AttachMemoryCounters(state, graph);
 }
 BENCHMARK(BM_EquitableRefinementBig);
+
+// Thread-scaling sweep for the acceptance target of PR 2: RefineAll on the
+// 200k-vertex graph at 1/2/4/8 threads. The Arg(1) row is the sequential
+// baseline (no pool is ever created), so speedup = row1 / rowN.
+void RefineAllWithThreads(benchmark::State& state, const Graph& graph) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  ExecutionContext context(threads);
+  Refiner refiner(graph, &context);
+  for (auto _ : state) {
+    OrderedPartition partition(graph.NumVertices(), {});
+    benchmark::DoNotOptimize(refiner.RefineAll(partition));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(threads));
+  state.counters["parallel_splitters"] = benchmark::Counter(
+      static_cast<double>(context.stats().parallel_splitters),
+      benchmark::Counter::kAvgIterations);
+  state.counters["cells_split"] = benchmark::Counter(
+      static_cast<double>(context.stats().cells_split),
+      benchmark::Counter::kAvgIterations);
+  AttachMemoryCounters(state, graph);
+}
+
+void BM_RefineAllThreads(benchmark::State& state) {
+  RefineAllWithThreads(state, BigRefineGraph());
+}
+BENCHMARK(BM_RefineAllThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RefineAllThreadsBigScan(benchmark::State& state) {
+  RefineAllWithThreads(state, BigScanGraph());
+}
+BENCHMARK(BM_RefineAllThreadsBigScan)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)  // Seconds-scale per pass on the 1M-vertex graph.
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AutomorphismSearchEnron(benchmark::State& state) {
   const Graph& graph = EnronGraph();
@@ -251,8 +294,10 @@ BENCHMARK(BM_AnonymizeHepth)->Arg(2)->Arg(5)->Arg(10);
 // pipeline a data owner runs per release.
 void BM_AnonymizeEndToEndHepth(benchmark::State& state) {
   const Graph& graph = HepthGraph();
+  ExecutionContext context;  // Sequential policy; stats sink for the sweep.
   AnonymizationOptions options;
   options.k = static_cast<uint32_t>(state.range(0));
+  options.context = &context;
   size_t released_mem = 0;
   for (auto _ : state) {
     auto result = Anonymize(graph, options);
@@ -262,6 +307,21 @@ void BM_AnonymizeEndToEndHepth(benchmark::State& state) {
   }
   state.counters["released_graph_mem_bytes"] =
       benchmark::Counter(static_cast<double>(released_mem));
+  // The pipeline's own cost accounting (per iteration): where the time
+  // went and how much refinement work the partition phase did.
+  const RefinementStats& stats = context.stats();
+  state.counters["refine_calls"] = benchmark::Counter(
+      static_cast<double>(stats.refine_calls),
+      benchmark::Counter::kAvgIterations);
+  state.counters["cells_split"] = benchmark::Counter(
+      static_cast<double>(stats.cells_split),
+      benchmark::Counter::kAvgIterations);
+  state.counters["partition_ms"] = benchmark::Counter(
+      stats.partition_seconds * 1e3, benchmark::Counter::kAvgIterations);
+  state.counters["refine_ms"] = benchmark::Counter(
+      stats.refine_seconds * 1e3, benchmark::Counter::kAvgIterations);
+  state.counters["copy_ms"] = benchmark::Counter(
+      stats.copy_seconds * 1e3, benchmark::Counter::kAvgIterations);
   AttachMemoryCounters(state, graph);
 }
 BENCHMARK(BM_AnonymizeEndToEndHepth)->Arg(2)->Arg(5);
@@ -271,10 +331,14 @@ void BM_BackboneDetectionHepth(benchmark::State& state) {
   options.k = 5;
   auto release = AnonymizeWithPartition(HepthGraph(), HepthOrbits(), options);
   KSYM_CHECK(release.ok());
+  ExecutionContext context;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeBackbone(release->graph,
-                                             release->partition));
+    benchmark::DoNotOptimize(
+        ComputeBackbone(release->graph, release->partition, &context));
   }
+  state.counters["backbone_ms"] = benchmark::Counter(
+      context.stats().backbone_seconds * 1e3,
+      benchmark::Counter::kAvgIterations);
   AttachMemoryCounters(state, release->graph);
 }
 BENCHMARK(BM_BackboneDetectionHepth);
@@ -312,7 +376,7 @@ BENCHMARK(BM_ExactSampleHepth);
 }  // namespace
 }  // namespace ksym
 
-// Custom main: defaults JSON output to BENCH_pr1.json so every run leaves a
+// Custom main: defaults JSON output to BENCH_pr2.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -320,7 +384,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr1.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr2.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);

@@ -36,6 +36,14 @@ VertexPartition VertexPartition::FromRepresentatives(
     partition.cell_of[v] = cell_of_rep[rep[v]];
   }
   partition.cells.resize(num_cells);
+  // Reserve every cell exactly before filling: on 200k-cell partitions the
+  // repeated push_back growth otherwise reallocates each cell ~log(size)
+  // times.
+  std::vector<uint32_t> cell_sizes(num_cells, 0);
+  for (VertexId v = 0; v < n; ++v) ++cell_sizes[partition.cell_of[v]];
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    partition.cells[c].reserve(cell_sizes[c]);
+  }
   for (VertexId v = 0; v < n; ++v) {
     partition.cells[partition.cell_of[v]].push_back(v);  // Sorted by scan.
   }
@@ -64,15 +72,27 @@ VertexPartition VertexPartition::FromCells(
   return partition;
 }
 
-VertexPartition ComputeAutomorphismPartition(
-    const Graph& graph, const std::vector<uint32_t>& colors) {
-  const AutomorphismResult aut = ComputeAutomorphisms(graph, colors);
+VertexPartition ComputeAutomorphismPartition(const Graph& graph,
+                                             const std::vector<uint32_t>& colors,
+                                             const ExecutionContext* context) {
+  const AutomorphismResult aut = ComputeAutomorphisms(graph, colors, context);
   return VertexPartition::FromRepresentatives(aut.orbit_rep);
 }
 
+VertexPartition ComputeAutomorphismPartition(
+    const Graph& graph, const std::vector<uint32_t>& colors) {
+  return ComputeAutomorphismPartition(graph, colors, nullptr);
+}
+
+VertexPartition ComputeTotalDegreePartition(const Graph& graph,
+                                            const ExecutionContext* context) {
+  return VertexPartition::FromCells(
+      graph.NumVertices(),
+      EquitablePartition(graph, RefinementOptions{.context = context}));
+}
+
 VertexPartition ComputeTotalDegreePartition(const Graph& graph) {
-  return VertexPartition::FromCells(graph.NumVertices(),
-                                    EquitablePartition(graph));
+  return ComputeTotalDegreePartition(graph, nullptr);
 }
 
 }  // namespace ksym

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace ksym {
@@ -44,14 +45,27 @@ struct VertexPartition {
   }
 };
 
-/// Exact automorphism partition Orb(G) via the IR search. If `colors` is
-/// non-empty, orbits of the colour-preserving automorphism group.
+/// Exact automorphism partition Orb(G) via the IR search, on `context`'s
+/// execution policy (refinement inside the search shards over the
+/// context's pool; stats/timers accumulate into the context). If `colors`
+/// is non-empty, orbits of the colour-preserving automorphism group.
+VertexPartition ComputeAutomorphismPartition(const Graph& graph,
+                                             const std::vector<uint32_t>& colors,
+                                             const ExecutionContext* context);
+
+/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
+/// callers compile. Prefer the context overload.
 VertexPartition ComputeAutomorphismPartition(
     const Graph& graph, const std::vector<uint32_t>& colors = {});
 
-/// TDV(G): the coarsest equitable partition (iterated degree refinement).
-/// Every cell is a union of orbits, so it is a *conservative upper
-/// approximation*: cell sizes >= orbit sizes.
+/// TDV(G): the coarsest equitable partition (iterated degree refinement),
+/// on `context`'s execution policy. Every cell is a union of orbits, so it
+/// is a *conservative upper approximation*: cell sizes >= orbit sizes.
+VertexPartition ComputeTotalDegreePartition(const Graph& graph,
+                                            const ExecutionContext* context);
+
+/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
+/// callers compile. Prefer the context overload.
 VertexPartition ComputeTotalDegreePartition(const Graph& graph);
 
 }  // namespace ksym

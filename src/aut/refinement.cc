@@ -1,6 +1,7 @@
 #include "aut/refinement.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 namespace ksym {
@@ -141,13 +142,19 @@ void OrderedPartition::RevertTo(size_t mark) {
   }
 }
 
-Refiner::Refiner(const Graph& graph)
-    : graph_(graph), count_(graph.NumVertices(), 0) {
+Refiner::Refiner(const Graph& graph) : Refiner(graph, nullptr) {}
+
+Refiner::Refiner(const Graph& graph, const ExecutionContext* context)
+    : graph_(graph), context_(context), count_(graph.NumVertices(), 0) {
   touched_.reserve(graph.NumVertices());
+  if (context_ != nullptr && !context_->IsSequential()) {
+    shards_.resize(context_->threads());
+  }
 }
 
 uint64_t Refiner::RefineAll(OrderedPartition& p) {
   worklist_.clear();
+  worklist_.reserve(p.NumCells());
   uint32_t pos = 0;
   const uint32_t n = static_cast<uint32_t>(p.NumVertices());
   while (pos < n) {
@@ -164,45 +171,178 @@ uint64_t Refiner::RefineFrom(OrderedPartition& p, uint32_t seed_start) {
 }
 
 uint64_t Refiner::DoRefine(OrderedPartition& p) {
+  ScopedPhaseTimer refine_timer(context_, &RefinementStats::refine_seconds);
+  ThreadPool* pool = context_ != nullptr && !context_->IsSequential()
+                         ? context_->pool()
+                         : nullptr;
   uint64_t hash = 0x243F6A8885A308D3ull;
   size_t head = 0;
+
+  while (head < worklist_.size()) {
+    const uint32_t w_start = worklist_[head++];
+    // Snapshot the splitter: the cell currently starting at w_start (a
+    // subset of the cell that was scheduled, which is still a valid
+    // refinement step; any carved-off siblings were scheduled separately).
+    const auto w_span = p.CellAt(w_start);
+    splitter_.assign(w_span.begin(), w_span.end());
+
+    if (pool != nullptr) {
+      ProcessSplitterSharded(p, w_start, pool, hash);
+    } else {
+      ProcessSplitterSequential(p, w_start, hash);
+    }
+  }
+
+  if (context_ != nullptr) {
+    ++context_->stats().refine_calls;
+    context_->stats().splitters_processed += head;
+  }
+
+  // The per-split records already pin down the resulting structure given
+  // the (inductively equal) input structure; mix the cell count as a cheap
+  // extra integrity check.
+  hash = HashMix(hash, p.NumCells());
+  return hash;
+}
+
+void Refiner::ProcessSplitterSequential(OrderedPartition& p, uint32_t w_start,
+                                        uint64_t& hash) {
   // Scratch buffers live on the Refiner: this runs millions of times per
   // automorphism search and per-call allocation dominates otherwise.
-  std::vector<uint32_t>& worklist = worklist_;
-  std::vector<VertexId>& splitter = splitter_;
   std::vector<uint32_t>& affected = affected_;
   std::vector<std::pair<uint32_t, VertexId>>& keyed = keyed_;
   std::vector<VertexId>& reordered = reordered_;
   std::vector<uint32_t>& group_sizes = group_sizes_;
 
-  while (head < worklist.size()) {
-    const uint32_t w_start = worklist[head++];
-    // Snapshot the splitter: the cell currently starting at w_start (a
-    // subset of the cell that was scheduled, which is still a valid
-    // refinement step; any carved-off siblings were scheduled separately).
-    const auto w_span = p.CellAt(w_start);
-    splitter.assign(w_span.begin(), w_span.end());
+  // Count neighbours in the splitter.
+  for (VertexId u : splitter_) {
+    for (VertexId v : graph_.Neighbors(u)) {
+      if (count_[v]++ == 0) touched_.push_back(v);
+    }
+  }
 
-    // Count neighbours in the splitter.
-    for (VertexId u : splitter) {
-      for (VertexId v : graph_.Neighbors(u)) {
-        if (count_[v]++ == 0) touched_.push_back(v);
+  // Affected cells, in invariant (ascending start) order.
+  affected.clear();
+  for (VertexId v : touched_) {
+    affected.push_back(p.CellStartOf(v));
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  for (uint32_t c_start : affected) {
+    const uint32_t c_size = p.CellSizeAt(c_start);
+    if (c_size == 1) continue;
+    const auto cell = p.CellAt(c_start);
+    keyed.clear();
+    uint32_t min_count = static_cast<uint32_t>(-1);
+    uint32_t max_count = 0;
+    for (VertexId v : cell) {
+      const uint32_t c = count_[v];
+      min_count = std::min(min_count, c);
+      max_count = std::max(max_count, c);
+      keyed.emplace_back(c, v);
+    }
+    if (min_count == max_count) continue;  // Uniform: no split.
+
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    reordered.clear();
+    group_sizes.clear();
+    uint32_t group_len = 0;
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      reordered.push_back(keyed[i].second);
+      ++group_len;
+      const bool last = i + 1 == keyed.size();
+      if (last || keyed[i + 1].first != keyed[i].first) {
+        group_sizes.push_back(group_len);
+        hash = HashMix(hash, (uint64_t{c_start} << 32) | keyed[i].first);
+        hash = HashMix(hash, group_len);
+        group_len = 0;
       }
     }
-
-    // Affected cells, in invariant (ascending start) order.
-    affected.clear();
-    for (VertexId v : touched_) {
-      affected.push_back(p.CellStartOf(v));
+    p.SplitCell(c_start, reordered, group_sizes);
+    if (context_ != nullptr) ++context_->stats().cells_split;
+    // Schedule every new sub-cell as a splitter.
+    uint32_t sub_start = c_start;
+    for (uint32_t gsize : group_sizes) {
+      worklist_.push_back(sub_start);
+      sub_start += gsize;
     }
-    std::sort(affected.begin(), affected.end());
-    affected.erase(std::unique(affected.begin(), affected.end()),
-                   affected.end());
+    hash = HashMix(hash, (uint64_t{w_start} << 32) | c_start);
+  }
 
-    for (uint32_t c_start : affected) {
+  // Reset scratch.
+  for (VertexId v : touched_) count_[v] = 0;
+  touched_.clear();
+}
+
+// The sharded variant of one splitter step. Counting and the affected-cell
+// scan shard across the pool (each gated by its grain — below the grain the
+// phase runs inline as shard 0 through the same code); the merge applies the
+// computed splits sequentially in ascending affected-cell order.
+//
+// Determinism / bit-identity argument (also in DESIGN.md §7):
+//   * counts are sums of per-edge contributions — commutative, so the
+//     atomic relaxed increments yield exactly the sequential counts;
+//   * the affected array is sorted + deduped, erasing shard discovery order;
+//   * each affected cell's split is a pure function of (cell contents,
+//     counts), computed by exactly one shard; static chunking assigns cells
+//     to shards in ascending order, so concatenating the shards' plans
+//     recovers the sequential cell order;
+//   * SplitCell applications and every HashMix fold happen only in the
+//     merge, in that order — identical to the sequential interleaving.
+void Refiner::ProcessSplitterSharded(OrderedPartition& p, uint32_t w_start,
+                                     ThreadPool* pool, uint64_t& hash) {
+  RefinementStats& stats = context_->stats();
+
+  // Phase 1: count neighbours in the splitter. Sharded over the splitter's
+  // members; concurrent increments of count_[v] use atomic_ref, and the
+  // shard that lifts v's count off zero records it as touched (exactly one
+  // shard does, so the union of the touched lists has no duplicates).
+  const bool shard_count = splitter_.size() >= context_->splitter_grain;
+  if (shard_count) {
+    ParallelFor(pool, splitter_.size(),
+                [this](size_t begin, size_t end, uint32_t shard) {
+                  std::vector<VertexId>& touched = shards_[shard].touched;
+                  for (size_t i = begin; i < end; ++i) {
+                    for (VertexId v : graph_.Neighbors(splitter_[i])) {
+                      std::atomic_ref<uint32_t> count(count_[v]);
+                      if (count.fetch_add(1, std::memory_order_relaxed) == 0) {
+                        touched.push_back(v);
+                      }
+                    }
+                  }
+                });
+  } else {
+    for (VertexId u : splitter_) {
+      for (VertexId v : graph_.Neighbors(u)) {
+        if (count_[v]++ == 0) shards_[0].touched.push_back(v);
+      }
+    }
+  }
+
+  // Phase 2: affected cells, in invariant (ascending start) order.
+  affected_.clear();
+  for (const ShardScratch& shard : shards_) {
+    for (VertexId v : shard.touched) affected_.push_back(p.CellStartOf(v));
+  }
+  std::sort(affected_.begin(), affected_.end());
+  affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                  affected_.end());
+
+  // Phase 3: scan affected cells into split plans. Disjoint cells, and `p`
+  // and count_ are read-only here, so shards are fully independent.
+  for (ShardScratch& shard : shards_) shard.plans.clear();
+  const bool shard_scan = affected_.size() >= context_->affected_grain;
+  const auto scan = [this, &p](size_t begin, size_t end, uint32_t shard_index) {
+    ShardScratch& scratch = shards_[shard_index];
+    for (size_t idx = begin; idx < end; ++idx) {
+      const uint32_t c_start = affected_[idx];
       const uint32_t c_size = p.CellSizeAt(c_start);
       if (c_size == 1) continue;
       const auto cell = p.CellAt(c_start);
+      std::vector<std::pair<uint32_t, VertexId>>& keyed = scratch.keyed;
       keyed.clear();
       uint32_t min_count = static_cast<uint32_t>(-1);
       uint32_t max_count = 0;
@@ -216,48 +356,69 @@ uint64_t Refiner::DoRefine(OrderedPartition& p) {
 
       std::sort(keyed.begin(), keyed.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      reordered.clear();
-      group_sizes.clear();
+      SplitPlan plan;
+      plan.cell_start = c_start;
+      plan.reordered.reserve(keyed.size());
       uint32_t group_len = 0;
       for (size_t i = 0; i < keyed.size(); ++i) {
-        reordered.push_back(keyed[i].second);
+        plan.reordered.push_back(keyed[i].second);
         ++group_len;
         const bool last = i + 1 == keyed.size();
         if (last || keyed[i + 1].first != keyed[i].first) {
-          group_sizes.push_back(group_len);
-          hash = HashMix(hash, (uint64_t{c_start} << 32) | keyed[i].first);
-          hash = HashMix(hash, group_len);
+          plan.group_sizes.push_back(group_len);
+          plan.group_keys.push_back(keyed[i].first);
           group_len = 0;
         }
       }
-      p.SplitCell(c_start, reordered, group_sizes);
-      // Schedule every new sub-cell as a splitter.
-      uint32_t sub_start = c_start;
-      for (uint32_t gsize : group_sizes) {
-        worklist.push_back(sub_start);
+      scratch.plans.push_back(std::move(plan));
+    }
+  };
+  if (shard_scan) {
+    ParallelFor(pool, affected_.size(), scan);
+  } else {
+    scan(0, affected_.size(), 0);
+  }
+  if (shard_count || shard_scan) ++stats.parallel_splitters;
+
+  // Phase 4: deterministic merge. Shards hold plans for ascending chunks of
+  // affected_, so this applies splits in exactly the sequential cell order.
+  for (const ShardScratch& shard : shards_) {
+    for (const SplitPlan& plan : shard.plans) {
+      for (size_t g = 0; g < plan.group_sizes.size(); ++g) {
+        hash = HashMix(hash,
+                       (uint64_t{plan.cell_start} << 32) | plan.group_keys[g]);
+        hash = HashMix(hash, plan.group_sizes[g]);
+      }
+      p.SplitCell(plan.cell_start, plan.reordered, plan.group_sizes);
+      ++stats.cells_split;
+      uint32_t sub_start = plan.cell_start;
+      for (uint32_t gsize : plan.group_sizes) {
+        worklist_.push_back(sub_start);
         sub_start += gsize;
       }
-      hash = HashMix(hash, (uint64_t{w_start} << 32) | c_start);
+      hash = HashMix(hash, (uint64_t{w_start} << 32) | plan.cell_start);
     }
-
-    // Reset scratch.
-    for (VertexId v : touched_) count_[v] = 0;
-    touched_.clear();
   }
 
-  // The per-split records already pin down the resulting structure given
-  // the (inductively equal) input structure; mix the cell count as a cheap
-  // extra integrity check.
-  hash = HashMix(hash, p.NumCells());
-  return hash;
+  // Phase 5: reset counts.
+  for (ShardScratch& shard : shards_) {
+    for (VertexId v : shard.touched) count_[v] = 0;
+    shard.touched.clear();
+  }
+}
+
+std::vector<std::vector<VertexId>> EquitablePartition(
+    const Graph& graph, const RefinementOptions& options) {
+  OrderedPartition partition(graph.NumVertices(), options.colors);
+  Refiner refiner(graph, options.context);
+  refiner.RefineAll(partition);
+  return partition.Cells();
 }
 
 std::vector<std::vector<VertexId>> EquitablePartition(
     const Graph& graph, const std::vector<uint32_t>& colors) {
-  OrderedPartition partition(graph.NumVertices(), colors);
-  Refiner refiner(graph);
-  refiner.RefineAll(partition);
-  return partition.Cells();
+  return EquitablePartition(graph,
+                            RefinementOptions{.colors = colors});
 }
 
 }  // namespace ksym

@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 #include "perm/permutation.h"
 
@@ -95,10 +97,25 @@ class OrderedPartition {
   mutable uint32_t target_hint_ = 0;
 };
 
+/// Options for the refinement entry points.
+struct RefinementOptions {
+  /// Initial colouring (empty = unit partition), as for OrderedPartition.
+  std::vector<uint32_t> colors = {};
+  /// Execution policy (threads, grains, stats sink). nullptr = sequential.
+  const ExecutionContext* context = nullptr;
+};
+
 /// Stateful refiner holding scratch buffers keyed to one graph.
+///
+/// With a context whose threads > 1, large splitters shard their neighbour
+/// counting and affected-cell scans across the context's pool; the split
+/// merge stays sequential in affected-cell order, so the resulting
+/// partition *and* the trace hash are bit-identical to the sequential path
+/// (see DESIGN.md §7, "Parallel refinement").
 class Refiner {
  public:
   explicit Refiner(const Graph& graph);
+  Refiner(const Graph& graph, const ExecutionContext* context);
 
   /// Refines `p` to the coarsest equitable partition finer than it, seeding
   /// the splitter worklist with every current cell. Returns an
@@ -111,12 +128,35 @@ class Refiner {
   uint64_t RefineFrom(OrderedPartition& p, uint32_t seed_start);
 
  private:
+  /// A split computed by one shard, applied later by the merge step.
+  struct SplitPlan {
+    uint32_t cell_start;
+    std::vector<VertexId> reordered;
+    std::vector<uint32_t> group_sizes;
+    std::vector<uint32_t> group_keys;  // Neighbour count per group (hash).
+  };
+
+  /// Thread-local scratch; shards_[s] is written only by shard s.
+  struct ShardScratch {
+    std::vector<VertexId> touched;
+    std::vector<std::pair<uint32_t, VertexId>> keyed;
+    std::vector<SplitPlan> plans;
+  };
+
   /// Refines using the splitter cells currently queued in worklist_.
   uint64_t DoRefine(OrderedPartition& p);
 
+  /// One splitter's count/scan/split step, sequential and sharded variants.
+  /// Both mutate `hash` and append new splitter cells to worklist_.
+  void ProcessSplitterSequential(OrderedPartition& p, uint32_t w_start,
+                                 uint64_t& hash);
+  void ProcessSplitterSharded(OrderedPartition& p, uint32_t w_start,
+                              ThreadPool* pool, uint64_t& hash);
+
   const Graph& graph_;
-  std::vector<uint32_t> count_;    // Scratch: neighbour counts.
-  std::vector<VertexId> touched_;  // Scratch: vertices with count > 0.
+  const ExecutionContext* context_;  // May be null (sequential).
+  std::vector<uint32_t> count_;      // Scratch: neighbour counts.
+  std::vector<VertexId> touched_;    // Scratch: vertices with count > 0.
   // Scratch buffers reused across DoRefine calls (allocation-free refines).
   std::vector<uint32_t> worklist_;
   std::vector<VertexId> splitter_;
@@ -124,11 +164,18 @@ class Refiner {
   std::vector<std::pair<uint32_t, VertexId>> keyed_;
   std::vector<VertexId> reordered_;
   std::vector<uint32_t> group_sizes_;
+  std::vector<ShardScratch> shards_;  // Sized to the context's thread count.
 };
 
-/// The stable (coarsest equitable) partition refining `colors` — the
+/// The stable (coarsest equitable) partition refining options.colors — the
 /// paper's TDV(G) when colors is empty. Cells are returned in partition
-/// order.
+/// order. Runs on options.context's policy (sequential when null).
+std::vector<std::vector<VertexId>> EquitablePartition(
+    const Graph& graph, const RefinementOptions& options);
+
+/// Deprecated: thin wrapper over the RefinementOptions overload, kept so
+/// pre-ExecutionContext callers compile. Prefer
+/// EquitablePartition(graph, RefinementOptions{.colors = ..., .context = ...}).
 std::vector<std::vector<VertexId>> EquitablePartition(
     const Graph& graph, const std::vector<uint32_t>& colors = {});
 

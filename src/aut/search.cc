@@ -26,11 +26,12 @@ void RelabeledEdgesInto(const Graph& graph, const Permutation& lab,
 
 class AutSearcher {
  public:
-  AutSearcher(const Graph& graph, const std::vector<uint32_t>& colors)
+  AutSearcher(const Graph& graph, const std::vector<uint32_t>& colors,
+              const ExecutionContext* context)
       : graph_(graph),
         n_(graph.NumVertices()),
         colors_(colors),
-        refiner_(graph),
+        refiner_(graph, context),
         global_orbits_(n_) {}
 
   AutomorphismResult Run() {
@@ -191,9 +192,15 @@ class AutSearcher {
 }  // namespace
 
 AutomorphismResult ComputeAutomorphisms(const Graph& graph,
-                                        const std::vector<uint32_t>& colors) {
+                                        const std::vector<uint32_t>& colors,
+                                        const ExecutionContext* context) {
   KSYM_CHECK(colors.empty() || colors.size() == graph.NumVertices());
-  return AutSearcher(graph, colors).Run();
+  return AutSearcher(graph, colors, context).Run();
+}
+
+AutomorphismResult ComputeAutomorphisms(const Graph& graph,
+                                        const std::vector<uint32_t>& colors) {
+  return ComputeAutomorphisms(graph, colors, nullptr);
 }
 
 }  // namespace ksym

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 #include "perm/permutation.h"
 
@@ -42,8 +43,18 @@ struct AutomorphismResult {
   uint64_t nodes = 0;
 };
 
-/// Computes Aut(G). If `colors` is non-empty (size n), only colour-preserving
-/// automorphisms are considered.
+/// Computes Aut(G) on `context`'s execution policy: the search itself is
+/// sequential (it is a depth-first backtrack over one shared partition),
+/// but every refinement step inside it runs through the context — sharded
+/// for large splitters, and accounted in the context's RefinementStats. If
+/// `colors` is non-empty (size n), only colour-preserving automorphisms are
+/// considered.
+AutomorphismResult ComputeAutomorphisms(const Graph& graph,
+                                        const std::vector<uint32_t>& colors,
+                                        const ExecutionContext* context);
+
+/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
+/// callers compile. Prefer the context overload.
 AutomorphismResult ComputeAutomorphisms(const Graph& graph,
                                         const std::vector<uint32_t>& colors = {});
 

@@ -1,0 +1,89 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ksym {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(std::max<uint32_t>(num_threads, 1)) {
+  threads_.reserve(num_threads_ - 1);
+  for (uint32_t w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(uint32_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KSYM_CHECK(task_ == nullptr);  // Run is not reentrant.
+    task_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // The caller is worker 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(uint32_t worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(uint32_t)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t, uint32_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  const size_t shards = pool->num_threads();
+  const size_t chunk = (n + shards - 1) / shards;
+  pool->Run([n, chunk, &fn](uint32_t shard) {
+    const size_t begin = std::min(n, shard * chunk);
+    const size_t end = std::min(n, begin + chunk);
+    if (begin < end) fn(begin, end, shard);
+  });
+}
+
+ThreadPool* ExecutionContext::pool() const {
+  if (threads_ <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+  return pool_.get();
+}
+
+}  // namespace ksym

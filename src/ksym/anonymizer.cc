@@ -36,11 +36,21 @@ size_t DegreeThresholdForExcludedFraction(const Graph& graph,
 
 Result<AnonymizationResult> Anonymize(const Graph& graph,
                                       const AnonymizationOptions& options) {
-  const VertexPartition initial =
-      options.use_total_degree_partition
-          ? ComputeTotalDegreePartition(graph)
-          : ComputeAutomorphismPartition(graph);
-  return AnonymizeWithPartition(graph, initial, options);
+  // With no caller context, a local one still collects this call's stats
+  // (it outlives the nested AnonymizeWithPartition call below).
+  ExecutionContext local_context;
+  AnonymizationOptions resolved = options;
+  if (resolved.context == nullptr) resolved.context = &local_context;
+
+  VertexPartition initial;
+  {
+    ScopedPhaseTimer timer(resolved.context,
+                           &RefinementStats::partition_seconds);
+    initial = options.use_total_degree_partition
+                  ? ComputeTotalDegreePartition(graph, resolved.context)
+                  : ComputeAutomorphismPartition(graph, {}, resolved.context);
+  }
+  return AnonymizeWithPartition(graph, initial, resolved);
 }
 
 Result<AnonymizationResult> AnonymizeWithPartition(
@@ -57,39 +67,47 @@ Result<AnonymizationResult> AnonymizeWithPartition(
       options.requirement ? options.requirement
                           : KSymmetryRequirement(options.k);
 
+  ExecutionContext local_context;
+  const ExecutionContext* context =
+      options.context != nullptr ? options.context : &local_context;
+
   MutableGraph mutable_graph(graph);
   TrackedPartition partition(initial);
 
   AnonymizationResult result;
   result.original_vertices = graph.NumVertices();
 
-  const size_t num_cells = initial.cells.size();
-  for (uint32_t cell = 0; cell < num_cells; ++cell) {
-    // Copy the *original* members; the vertices of one orbit all share the
-    // same degree, so any member's degree represents the orbit.
-    const std::vector<VertexId> unit = initial.cells[cell];
-    const size_t degree = graph.Degree(unit.front());
-    const uint32_t required = requirement(unit, degree);
-    if (required <= 1) {
-      ++result.orbits_excluded;
-      continue;
+  {
+    ScopedPhaseTimer copy_timer(context, &RefinementStats::copy_seconds);
+    const size_t num_cells = initial.cells.size();
+    for (uint32_t cell = 0; cell < num_cells; ++cell) {
+      // Copy the *original* members; the vertices of one orbit all share the
+      // same degree, so any member's degree represents the orbit.
+      const std::vector<VertexId> unit = initial.cells[cell];
+      const size_t degree = graph.Degree(unit.front());
+      const uint32_t required = requirement(unit, degree);
+      if (required <= 1) {
+        ++result.orbits_excluded;
+        continue;
+      }
+      if (partition.Cell(cell).size() >= required) {
+        ++result.orbits_satisfied;
+        continue;
+      }
+      ++result.orbits_copied;
+      while (partition.Cell(cell).size() < required) {
+        const size_t edges_before = mutable_graph.NumEdges();
+        OrbitCopy(mutable_graph, partition, cell, unit);
+        ++result.copy_operations;
+        result.vertices_added += unit.size();
+        result.edges_added += mutable_graph.NumEdges() - edges_before;
+      }
     }
-    if (partition.Cell(cell).size() >= required) {
-      ++result.orbits_satisfied;
-      continue;
-    }
-    ++result.orbits_copied;
-    while (partition.Cell(cell).size() < required) {
-      const size_t edges_before = mutable_graph.NumEdges();
-      OrbitCopy(mutable_graph, partition, cell, unit);
-      ++result.copy_operations;
-      result.vertices_added += unit.size();
-      result.edges_added += mutable_graph.NumEdges() - edges_before;
-    }
-  }
 
-  result.graph = mutable_graph.Freeze();
-  result.partition = partition.ToVertexPartition();
+    result.graph = mutable_graph.Freeze();
+    result.partition = partition.ToVertexPartition();
+  }
+  result.refinement = context->stats();
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "aut/orbits.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -48,6 +49,11 @@ struct AnonymizationOptions {
   /// (Section 7's scalable approximation; valid whenever TDV(G) = Orb(G),
   /// which the paper reports for all their real networks).
   bool use_total_degree_partition = false;
+  /// Execution policy for the partition computation and the pipeline's
+  /// phase timers. nullptr = sequential; the result's RefinementStats are
+  /// then scoped to this call. With a caller-owned context, the stats
+  /// accumulate into (and the result snapshot includes) that context.
+  const ExecutionContext* context = nullptr;
 };
 
 struct AnonymizationResult {
@@ -65,6 +71,11 @@ struct AnonymizationResult {
   size_t orbits_copied = 0;
   size_t orbits_excluded = 0;   // Requirement 1 (hub exclusion).
   size_t orbits_satisfied = 0;  // Already >= requirement, nothing to do.
+
+  /// Refinement-pipeline cost accounting, populated from the execution
+  /// context's timers (refine calls, cells split, wall time per phase) so
+  /// callers stop re-deriving cost from scratch.
+  RefinementStats refinement;
 };
 
 /// Anonymizes `graph` to satisfy the requirement (k-symmetry by default).

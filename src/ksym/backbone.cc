@@ -35,7 +35,9 @@ struct CellComponent {
 }  // namespace
 
 BackboneResult ComputeBackbone(const Graph& graph,
-                               const VertexPartition& partition) {
+                               const VertexPartition& partition,
+                               const ExecutionContext* context) {
+  ScopedPhaseTimer timer(context, &RefinementStats::backbone_seconds);
   const size_t n = graph.NumVertices();
   KSYM_CHECK(partition.cell_of.size() == n);
 
@@ -170,6 +172,11 @@ BackboneResult ComputeBackbone(const Graph& graph,
   result.partition =
       VertexPartition::FromCells(result.kept.size(), std::move(new_cells));
   return result;
+}
+
+BackboneResult ComputeBackbone(const Graph& graph,
+                               const VertexPartition& partition) {
+  return ComputeBackbone(graph, partition, nullptr);
 }
 
 }  // namespace ksym

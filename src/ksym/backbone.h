@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "aut/orbits.h"
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace ksym {
@@ -38,9 +39,18 @@ struct BackboneResult {
   size_t reduction_operations = 0;
 };
 
-/// Computes the backbone of (graph, partition). `partition` must be a
-/// sub-automorphism partition of `graph` (e.g. Orb(G), or the released V'
-/// of an anonymized graph).
+/// Computes the backbone of (graph, partition) on `context`'s execution
+/// policy (currently: the pass is timed into the context's
+/// RefinementStats::backbone_seconds; the reduction itself is inherently
+/// sequential — each removal changes the L(V) colours of the survivors).
+/// `partition` must be a sub-automorphism partition of `graph` (e.g.
+/// Orb(G), or the released V' of an anonymized graph).
+BackboneResult ComputeBackbone(const Graph& graph,
+                               const VertexPartition& partition,
+                               const ExecutionContext* context);
+
+/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
+/// callers compile. Prefer the context overload.
 BackboneResult ComputeBackbone(const Graph& graph,
                                const VertexPartition& partition);
 

@@ -106,6 +106,11 @@ Result<AnonymizationResult> AnonymizeMinimalVertices(
       options.requirement ? options.requirement
                           : KSymmetryRequirement(options.k);
 
+  ExecutionContext local_context;
+  const ExecutionContext* context =
+      options.context != nullptr ? options.context : &local_context;
+  Timer copy_timer;
+
   MutableGraph mutable_graph(graph);
   TrackedPartition partition(initial);
   AnonymizationResult result;
@@ -136,16 +141,26 @@ Result<AnonymizationResult> AnonymizeMinimalVertices(
 
   result.graph = mutable_graph.Freeze();
   result.partition = partition.ToVertexPartition();
+  context->stats().copy_seconds += copy_timer.ElapsedSeconds();
+  result.refinement = context->stats();
   return result;
 }
 
 Result<AnonymizationResult> AnonymizeMinimalVertices(
     const Graph& graph, const AnonymizationOptions& options) {
-  const VertexPartition initial =
-      options.use_total_degree_partition
-          ? ComputeTotalDegreePartition(graph)
-          : ComputeAutomorphismPartition(graph);
-  return AnonymizeMinimalVertices(graph, initial, options);
+  ExecutionContext local_context;
+  AnonymizationOptions resolved = options;
+  if (resolved.context == nullptr) resolved.context = &local_context;
+
+  VertexPartition initial;
+  {
+    ScopedPhaseTimer timer(resolved.context,
+                           &RefinementStats::partition_seconds);
+    initial = options.use_total_degree_partition
+                  ? ComputeTotalDegreePartition(graph, resolved.context)
+                  : ComputeAutomorphismPartition(graph, {}, resolved.context);
+  }
+  return AnonymizeMinimalVertices(graph, initial, resolved);
 }
 
 }  // namespace ksym

@@ -4,7 +4,10 @@
 // re-identification: per-measure unique/under-k counts, the orbit-partition
 // exposure limit, and whether the graph already satisfies k-symmetry.
 //
-//   ksym_audit --input graph.edges [--k 5] [--tdv]
+//   ksym_audit --input graph.edges [--k 5] [--tdv] [--threads N]
+//
+// --threads shards the partition computation's refinement (bit-identical
+// to the sequential run).
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +16,7 @@
 #include "attack/measures.h"
 #include "attack/reidentification.h"
 #include "aut/orbits.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "graph/algorithms.h"
 #include "graph/io.h"
@@ -20,7 +24,9 @@
 namespace {
 
 void Usage() {
-  std::fprintf(stderr, "usage: ksym_audit --input graph.edges [--k K] [--tdv]\n");
+  std::fprintf(stderr,
+               "usage: ksym_audit --input graph.edges [--k K] [--tdv] "
+               "[--threads N]\n");
 }
 
 }  // namespace
@@ -30,6 +36,7 @@ int main(int argc, char** argv) {
   std::string input;
   uint32_t k = 5;
   bool tdv = false;
+  uint32_t threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -46,6 +53,8 @@ int main(int argc, char** argv) {
       k = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--tdv") {
       tdv = true;
+    } else if (arg == "--threads") {
+      threads = static_cast<uint32_t>(std::atoi(next()));
     } else {
       Usage();
       return 2;
@@ -68,9 +77,10 @@ int main(int argc, char** argv) {
               stats.max_degree, stats.average_degree);
 
   Timer timer;
-  const VertexPartition orbits = tdv
-                                     ? ComputeTotalDegreePartition(graph)
-                                     : ComputeAutomorphismPartition(graph);
+  ExecutionContext context(threads);
+  const VertexPartition orbits =
+      tdv ? ComputeTotalDegreePartition(graph, &context)
+          : ComputeAutomorphismPartition(graph, {}, &context);
   std::printf("%s partition: %zu cells, %zu singletons (%.1f ms)%s\n",
               tdv ? "TDV" : "orbit", orbits.NumCells(),
               orbits.NumSingletons(), timer.ElapsedMillis(),
