@@ -6,6 +6,11 @@
 // lengths, transitivity (clustering coefficients) and resilience — between
 // the original graph and the sample average.
 //
+// Samples come from the DrawSamples batch API (per-index Rng streams) and
+// every distribution takes the shared ExecutionContext, so --threads N
+// accelerates both the drawing and the measuring without changing any
+// printed number.
+//
 // Paper shape to reproduce: the sampled curves track the originals closely
 // on all four properties for all three networks.
 
@@ -76,9 +81,12 @@ void PrintPairedSeries(const char* label, const std::vector<double>& original,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksym;
+  const uint32_t threads = bench::ThreadsFlag(argc, argv);
+  ExecutionContext context(threads);
   bench::PrintHeader("Figure 8: utility of sampled graphs (k = 5, 20 samples)");
+  std::printf("(threads = %u)\n", context.threads());
   Rng rng(20100322);
 
   for (const auto& dataset : bench::PrepareAllDatasets()) {
@@ -88,51 +96,58 @@ int main() {
                 release.graph.NumVertices(), release.vertices_added,
                 release.edges_added);
 
-    std::vector<Graph> samples;
-    for (int i = 0; i < kNumSamples; ++i) {
-      auto sample = ApproximateBackboneSample(
-          release.graph, release.partition, release.original_vertices, rng);
-      KSYM_CHECK(sample.ok());
-      samples.push_back(std::move(sample).value());
-    }
+    BatchSampleOptions batch;
+    batch.num_samples = kNumSamples;
+    batch.target_vertices = release.original_vertices;
+    batch.context = &context;
+    auto drawn =
+        DrawSamples(release.graph, release.partition, batch, rng.Fork());
+    KSYM_CHECK(drawn.ok());
+    const std::vector<Graph>& samples = *drawn;
 
     // Degree distribution.
     {
       std::vector<std::vector<size_t>> hists;
-      for (const Graph& s : samples) hists.push_back(Histogram(DegreeValues(s)));
-      PrintPairedSeries("degree", NormalizedHistogram(Histogram(DegreeValues(dataset.graph))),
-                        MeanNormalizedHistogram(hists), 12);
+      for (const Graph& s : samples) {
+        hists.push_back(Histogram(DegreeValues(s, &context)));
+      }
+      PrintPairedSeries(
+          "degree",
+          NormalizedHistogram(Histogram(DegreeValues(dataset.graph, &context))),
+          MeanNormalizedHistogram(hists), 12);
     }
     // Shortest path lengths.
     {
       std::vector<std::vector<size_t>> hists;
       for (const Graph& s : samples) {
-        hists.push_back(Histogram(SampledPathLengths(s, kPathPairs, rng)));
+        hists.push_back(Histogram(SampledPathLengths(s, kPathPairs, rng, &context)));
       }
       PrintPairedSeries(
           "path length",
-          NormalizedHistogram(Histogram(SampledPathLengths(dataset.graph, kPathPairs, rng))),
+          NormalizedHistogram(Histogram(
+              SampledPathLengths(dataset.graph, kPathPairs, rng, &context))),
           MeanNormalizedHistogram(hists), 12);
     }
     // Transitivity (10 bins over [0, 1]).
     {
       std::vector<std::vector<size_t>> hists;
       for (const Graph& s : samples) {
-        hists.push_back(BinnedHistogram(ClusteringValues(s), 0, 1, 10));
+        hists.push_back(BinnedHistogram(ClusteringValues(s, &context), 0, 1, 10));
       }
       PrintPairedSeries(
           "transitivity",
-          NormalizedHistogram(BinnedHistogram(ClusteringValues(dataset.graph), 0, 1, 10)),
+          NormalizedHistogram(BinnedHistogram(
+              ClusteringValues(dataset.graph, &context), 0, 1, 10)),
           MeanNormalizedHistogram(hists), 10);
     }
     // Resilience: LCC fraction at matching removal fractions.
     {
-      const auto original = ResilienceCurve(dataset.graph, 7, 0.6);
+      const auto original = ResilienceCurve(dataset.graph, 7, 0.6, &context);
       std::vector<double> original_y;
       for (const auto& [x, y] : original) original_y.push_back(y);
       std::vector<double> mean_y(original.size(), 0.0);
       for (const Graph& s : samples) {
-        const auto curve = ResilienceCurve(s, 7, 0.6);
+        const auto curve = ResilienceCurve(s, 7, 0.6, &context);
         for (size_t i = 0; i < curve.size(); ++i) mean_y[i] += curve[i].second;
       }
       for (double& y : mean_y) y /= kNumSamples;
@@ -146,10 +161,10 @@ int main() {
       double ks_deg = 0;
       double ks_cc = 0;
       for (const Graph& s : samples) {
-        ks_deg += KolmogorovSmirnovStatistic(DegreeValues(dataset.graph),
-                                             DegreeValues(s));
-        ks_cc += KolmogorovSmirnovStatistic(ClusteringValues(dataset.graph),
-                                            ClusteringValues(s));
+        ks_deg += KolmogorovSmirnovStatistic(DegreeValues(dataset.graph, &context),
+                                             DegreeValues(s, &context));
+        ks_cc += KolmogorovSmirnovStatistic(ClusteringValues(dataset.graph, &context),
+                                            ClusteringValues(s, &context));
       }
       std::printf("  mean K-S: degree %.3f, transitivity %.3f\n",
                   ks_deg / kNumSamples, ks_cc / kNumSamples);
@@ -160,16 +175,20 @@ int main() {
   std::printf("\nk = 10 summary (mean K-S over %d samples):\n", kNumSamples);
   for (const auto& dataset : bench::PrepareAllDatasets()) {
     const AnonymizationResult release = bench::Release(dataset, 10);
+    BatchSampleOptions batch;
+    batch.num_samples = kNumSamples;
+    batch.target_vertices = release.original_vertices;
+    batch.context = &context;
+    auto drawn =
+        DrawSamples(release.graph, release.partition, batch, rng.Fork());
+    KSYM_CHECK(drawn.ok());
     double ks_deg = 0;
     double ks_cc = 0;
-    for (int i = 0; i < kNumSamples; ++i) {
-      const auto sample = ApproximateBackboneSample(
-          release.graph, release.partition, release.original_vertices, rng);
-      KSYM_CHECK(sample.ok());
-      ks_deg += KolmogorovSmirnovStatistic(DegreeValues(dataset.graph),
-                                           DegreeValues(*sample));
-      ks_cc += KolmogorovSmirnovStatistic(ClusteringValues(dataset.graph),
-                                          ClusteringValues(*sample));
+    for (const Graph& sample : *drawn) {
+      ks_deg += KolmogorovSmirnovStatistic(DegreeValues(dataset.graph, &context),
+                                           DegreeValues(sample, &context));
+      ks_cc += KolmogorovSmirnovStatistic(ClusteringValues(dataset.graph, &context),
+                                          ClusteringValues(sample, &context));
     }
     std::printf("  %-11s degree %.3f, transitivity %.3f\n",
                 dataset.name.c_str(), ks_deg / kNumSamples,

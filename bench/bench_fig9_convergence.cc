@@ -5,10 +5,16 @@
 // the degree and shortest-path-length distributions, at increasing sample
 // counts (1, 5, 10, ..., 100).
 //
+// Sample batches are drawn through DrawSamples (per-index Rng streams), so
+// --threads N shards both the drawing and the per-graph measurements
+// without changing any number in the output.
+//
 // Paper shape to reproduce: the statistic converges fast — 5-10 samples
 // already reach (near-)steady utility quality.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -16,10 +22,13 @@
 #include "stats/aggregate.h"
 #include "stats/distributions.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ksym;
+  const uint32_t threads = bench::ThreadsFlag(argc, argv);
+  ExecutionContext context(threads);
   bench::PrintHeader(
       "Figure 9: average K-S statistic vs number of sampled graphs");
+  std::printf("(threads = %u)\n", context.threads());
   Rng rng(322);
   constexpr size_t kMaxSamples = 100;
   constexpr size_t kPathPairs = 500;
@@ -27,32 +36,35 @@ int main() {
   for (const auto& dataset : bench::PrepareAllDatasets()) {
     for (uint32_t k : {5u, 10u}) {
       const AnonymizationResult release = bench::Release(dataset, k);
-      std::vector<Graph> samples;
-      for (size_t i = 0; i < kMaxSamples; ++i) {
-        auto sample = ApproximateBackboneSample(
-            release.graph, release.partition, release.original_vertices, rng);
-        KSYM_CHECK(sample.ok());
-        samples.push_back(std::move(sample).value());
-      }
+      BatchSampleOptions batch;
+      batch.num_samples = kMaxSamples;
+      batch.target_vertices = release.original_vertices;
+      batch.context = &context;
+      auto samples = DrawSamples(release.graph, release.partition, batch,
+                                 rng.Fork());
+      KSYM_CHECK(samples.ok());
 
       Rng path_rng(777);
-      auto path_values = [&path_rng](const Graph& g) {
-        return SampledPathLengths(g, kPathPairs, path_rng);
+      auto degree_values = [&context](const Graph& g) {
+        return DegreeValues(g, &context);
+      };
+      auto path_values = [&path_rng, &context](const Graph& g) {
+        return SampledPathLengths(g, kPathPairs, path_rng, &context);
       };
 
       std::printf("\n%s, k=%u (samples 1,9,17,...):\n", dataset.name.c_str(),
                   k);
       bench::PrintSeries("  degree (pooled K-S)",
-                         PooledKsConvergence(dataset.graph, samples,
-                                             DegreeValues));
+                         PooledKsConvergence(dataset.graph, *samples,
+                                             degree_values));
       bench::PrintSeries("  degree (mean K-S)",
-                         MeanKsConvergence(dataset.graph, samples,
-                                           DegreeValues));
+                         MeanKsConvergence(dataset.graph, *samples,
+                                           degree_values));
       bench::PrintSeries("  path length (pooled K-S)",
-                         PooledKsConvergence(dataset.graph, samples,
+                         PooledKsConvergence(dataset.graph, *samples,
                                              path_values));
       bench::PrintSeries("  path length (mean K-S)",
-                         MeanKsConvergence(dataset.graph, samples,
+                         MeanKsConvergence(dataset.graph, *samples,
                                            path_values));
     }
   }

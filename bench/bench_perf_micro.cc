@@ -6,19 +6,26 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr2.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr3.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
 // as counters, so the bench trajectory tracks space as well as time; the
-// thread-scaling sweeps (BM_RefineAllThreads*) record how sharded
-// refinement scales at 1/2/4/8 threads, and the end-to-end anonymize bench
-// attaches the pipeline's RefinementStats.
+// thread-scaling sweeps record how sharded refinement
+// (BM_RefineAllThreads*) and the parallel evaluation engine — clustering,
+// path-length sampling, batch sampling, ego-net measures — scale at
+// 1/2/4/8 threads, and the end-to-end anonymize bench attaches the
+// pipeline's RefinementStats. The JSON context records
+// hardware_concurrency so single-core containers (where the sweep cannot
+// show real speedup) are identifiable from the artifact alone.
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
 #include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "attack/measures.h"
 #include "aut/orbits.h"
 #include "aut/refinement.h"
 #include "common/parallel.h"
@@ -28,6 +35,8 @@
 #include "ksym/anonymizer.h"
 #include "ksym/backbone.h"
 #include "ksym/sampling.h"
+#include "stats/distributions.h"
+#include "stats/resilience.h"
 
 namespace ksym {
 namespace {
@@ -373,10 +382,103 @@ void BM_ExactSampleHepth(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactSampleHepth);
 
+// --- PR 3 thread-scaling sweeps: the parallel evaluation engine. Each
+// sweep's Arg(1) row is the sequential baseline (no pool is created), so
+// speedup = row1 / rowN; every row computes bit-identical results.
+
+void BM_ClusteringThreads(benchmark::State& state) {
+  const Graph& graph = BigRefineGraph();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusteringValues(graph, &context));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_ClusteringThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SampledPathLengthsThreads(benchmark::State& state) {
+  const Graph& graph = BigRefineGraph();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(13);  // Fresh stream per iteration: identical work each pass.
+    benchmark::DoNotOptimize(SampledPathLengths(graph, 200, rng, &context));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_SampledPathLengthsThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ResilienceThreads(benchmark::State& state) {
+  const Graph& graph = HepthGraph();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResilienceCurve(graph, 21, 0.6, &context));
+  }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_ResilienceThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchSampleThreads(benchmark::State& state) {
+  AnonymizationOptions options;
+  options.k = 5;
+  auto release = AnonymizeWithPartition(HepthGraph(), HepthOrbits(), options);
+  KSYM_CHECK(release.ok());
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  BatchSampleOptions batch;
+  batch.num_samples = 8;
+  batch.target_vertices = release->original_vertices;
+  batch.context = &context;
+  const Rng rng(7);
+  for (auto _ : state) {
+    auto samples = DrawSamples(release->graph, release->partition, batch, rng);
+    KSYM_CHECK(samples.ok());
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.num_samples));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, release->graph);
+}
+BENCHMARK(BM_BatchSampleThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborhoodMeasureThreads(benchmark::State& state) {
+  const Graph& graph = EnronGraph();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  const StructuralMeasure measure = NeighborhoodMeasure(&context);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure.eval(graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_NeighborhoodMeasureThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace ksym
 
-// Custom main: defaults JSON output to BENCH_pr2.json so every run leaves a
+// Custom main: defaults JSON output to BENCH_pr3.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -384,7 +486,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr2.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr3.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);
@@ -395,6 +497,11 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  // Whether the thread sweeps ran on real cores: on a single-core container
+  // the 2/4/8-thread rows measure scheduling overhead, not scaling.
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

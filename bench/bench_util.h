@@ -8,6 +8,8 @@
 #define KSYM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,18 @@
 #include "ksym/anonymizer.h"
 
 namespace ksym::bench {
+
+/// Parses `--threads N` from the command line (default 1, the sequential
+/// policy). Parallel runs print identical numbers — only faster.
+inline uint32_t ThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const int parsed = std::atoi(argv[i + 1]);
+      return parsed > 0 ? static_cast<uint32_t>(parsed) : 1;
+    }
+  }
+  return 1;
+}
 
 /// A dataset stand-in plus its exact automorphism partition.
 struct PreparedDataset {

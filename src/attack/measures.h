@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "aut/orbits.h"
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace ksym {
@@ -29,18 +30,24 @@ struct StructuralMeasure {
   std::function<std::vector<uint32_t>(const Graph&)> eval;
 };
 
+// Each factory takes an optional ExecutionContext captured by the measure's
+// eval closure (the context must outlive the measure). Per-vertex keys are
+// computed in parallel on the context's pool and interned sequentially, so
+// the labels are bit-identical for any thread count.
+
 /// deg(v) — the vertex degree (the knowledge behind k-degree anonymity).
-StructuralMeasure DegreeMeasure();
+StructuralMeasure DegreeMeasure(const ExecutionContext* context = nullptr);
 
 /// tri(v) — the number of triangles through v.
-StructuralMeasure TriangleMeasure();
+StructuralMeasure TriangleMeasure(const ExecutionContext* context = nullptr);
 
 /// Deg(v) — the sorted degree sequence of v's neighbourhood (the paper's
 /// first component of the combined measure; also subsumes deg(v)).
-StructuralMeasure NeighborDegreeSequenceMeasure();
+StructuralMeasure NeighborDegreeSequenceMeasure(
+    const ExecutionContext* context = nullptr);
 
 /// The paper's combined two-tuple f(v) = (Deg(v), tri(v)).
-StructuralMeasure CombinedMeasure();
+StructuralMeasure CombinedMeasure(const ExecutionContext* context = nullptr);
 
 /// The 1-neighborhood isomorphism class: the induced subgraph on
 /// N(v) ∪ {v} with v marked, up to isomorphism — the background knowledge
@@ -50,7 +57,7 @@ StructuralMeasure CombinedMeasure();
 /// Ego networks up to 64 vertices are classified by exact canonical form;
 /// larger (hub) ego networks by their coloured refinement trace, which is
 /// isomorphism-invariant (collisions only make the adversary weaker).
-StructuralMeasure NeighborhoodMeasure();
+StructuralMeasure NeighborhoodMeasure(const ExecutionContext* context = nullptr);
 
 /// The partition V_f induced by the equivalence u ~ v <=> f(u) = f(v).
 VertexPartition PartitionByMeasure(const Graph& graph,

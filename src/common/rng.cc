@@ -91,4 +91,19 @@ size_t Rng::NextDiscrete(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD6E8FEB86659FD93ull); }
 
+Rng Rng::Fork(uint64_t index) const {
+  // Fold the full 256-bit state and the index through SplitMix64 so child
+  // streams differ in all state words even for adjacent indices. The parent
+  // state is read-only: the result is a pure function of (state, index).
+  uint64_t sm = s_[0] ^ (index + 0x9E3779B97F4A7C15ull);
+  uint64_t seed = SplitMix64(sm);
+  sm ^= s_[1];
+  seed ^= SplitMix64(sm);
+  sm ^= s_[2];
+  seed ^= SplitMix64(sm);
+  sm ^= s_[3];
+  seed ^= SplitMix64(sm);
+  return Rng(seed);
+}
+
 }  // namespace ksym

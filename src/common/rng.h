@@ -63,8 +63,16 @@ class Rng {
   }
 
   /// Derives an independent child generator; used to give sub-tasks their
-  /// own streams without correlating them.
+  /// own streams without correlating them. Advances this generator.
   Rng Fork();
+
+  /// Stream split: derives the `index`-th child generator from the current
+  /// state *without* advancing it, so Fork(i) and Fork(j) can be taken in
+  /// any order (or concurrently from different shards reading the same
+  /// parent) and always yield the same pair of streams. This is the seeding
+  /// primitive of the parallel evaluation engine: per-sample / per-shard
+  /// streams depend only on (parent state, index), never on scheduling.
+  Rng Fork(uint64_t index) const;
 
  private:
   uint64_t s_[4];

@@ -1,6 +1,7 @@
 #include "graph/algorithms.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 namespace ksym {
@@ -74,16 +75,19 @@ std::vector<int64_t> BfsDistances(const Graph& graph, VertexId source) {
   return dist;
 }
 
-std::vector<uint64_t> TriangleCounts(const Graph& graph) {
-  const size_t n = graph.NumVertices();
-  std::vector<uint64_t> tri(n, 0);
-  // For each edge (u, v) with u < v, intersect sorted neighbor ranges; each
-  // common neighbor w closes a triangle {u, v, w}. To count each triangle
-  // once per edge scan, only consider w > v; then credit all three corners.
-  // The flat sorted ranges make both the forward suffix (> u) and the
-  // intersection suffix (> v) contiguous: one binary search per vertex, and
-  // the > v suffix of u's range starts right after v's own slot.
-  for (VertexId u = 0; u < n; ++u) {
+namespace {
+
+// Core of TriangleCounts over the vertex range [begin, end): for each edge
+// (u, v) with u < v, intersect sorted neighbor ranges; each common neighbor
+// w closes a triangle {u, v, w}. To count each triangle once per edge scan,
+// only consider w > v; then credit all three corners via `add`. The flat
+// sorted ranges make both the forward suffix (> u) and the intersection
+// suffix (> v) contiguous: one binary search per vertex, and the > v suffix
+// of u's range starts right after v's own slot.
+template <typename AddFn>
+void CountTrianglesRange(const Graph& graph, VertexId begin, VertexId end,
+                         const AddFn& add) {
+  for (VertexId u = begin; u < end; ++u) {
     const auto nu = graph.Neighbors(u);
     for (auto itv = std::upper_bound(nu.begin(), nu.end(), u);
          itv != nu.end(); ++itv) {
@@ -98,15 +102,39 @@ std::vector<uint64_t> TriangleCounts(const Graph& graph) {
           ++iv;
         } else {
           const VertexId w = *iu;
-          ++tri[u];
-          ++tri[v];
-          ++tri[w];
+          add(u);
+          add(v);
+          add(w);
           ++iu;
           ++iv;
         }
       }
     }
   }
+}
+
+}  // namespace
+
+std::vector<uint64_t> TriangleCounts(const Graph& graph,
+                                     const ExecutionContext* context) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint64_t> tri(n, 0);
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  if (pool == nullptr) {
+    CountTrianglesRange(graph, 0, static_cast<VertexId>(n),
+                        [&tri](VertexId v) { ++tri[v]; });
+    return tri;
+  }
+  // Sharded by owning vertex u; corner credits cross shard boundaries, so
+  // they go through relaxed atomic adds. Sums of per-triangle contributions
+  // commute, hence the totals equal the sequential counts exactly.
+  ParallelFor(pool, n, [&graph, &tri](size_t begin, size_t end, uint32_t) {
+    CountTrianglesRange(graph, static_cast<VertexId>(begin),
+                        static_cast<VertexId>(end), [&tri](VertexId v) {
+                          std::atomic_ref<uint64_t> count(tri[v]);
+                          count.fetch_add(1, std::memory_order_relaxed);
+                        });
+  });
   return tri;
 }
 
@@ -116,17 +144,21 @@ uint64_t TotalTriangles(const Graph& graph) {
   return corner_sum / 3;
 }
 
-std::vector<double> ClusteringCoefficients(const Graph& graph) {
-  const std::vector<uint64_t> tri = TriangleCounts(graph);
+std::vector<double> ClusteringCoefficients(const Graph& graph,
+                                           const ExecutionContext* context) {
+  const std::vector<uint64_t> tri = TriangleCounts(graph, context);
   const size_t n = graph.NumVertices();
   std::vector<double> cc(n, 0.0);
-  for (VertexId v = 0; v < n; ++v) {
-    const size_t d = graph.Degree(v);
-    if (d >= 2) {
-      cc[v] = 2.0 * static_cast<double>(tri[v]) /
-              (static_cast<double>(d) * static_cast<double>(d - 1));
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  ParallelFor(pool, n, [&graph, &tri, &cc](size_t begin, size_t end, uint32_t) {
+    for (VertexId v = static_cast<VertexId>(begin); v < end; ++v) {
+      const size_t d = graph.Degree(v);
+      if (d >= 2) {
+        cc[v] = 2.0 * static_cast<double>(tri[v]) /
+                (static_cast<double>(d) * static_cast<double>(d - 1));
+      }
     }
-  }
+  });
   return cc;
 }
 

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace ksym {
@@ -42,15 +43,21 @@ void BfsDistancesInto(const Graph& graph, VertexId source,
                       std::vector<int64_t>& dist, std::vector<VertexId>& queue);
 
 /// Per-vertex triangle counts: tri(v) = number of triangles through v.
-/// Runs in O(sum_over_edges min(deg)) using sorted-adjacency merge.
-std::vector<uint64_t> TriangleCounts(const Graph& graph);
+/// Runs in O(sum_over_edges min(deg)) using sorted-adjacency merge. With a
+/// parallel `context` the edge scan is sharded by vertex range and corner
+/// credits use relaxed atomic adds; integer addition commutes, so the
+/// result is bit-identical to the sequential path for any thread count.
+std::vector<uint64_t> TriangleCounts(const Graph& graph,
+                                     const ExecutionContext* context = nullptr);
 
 /// Total number of triangles in the graph (each counted once).
 uint64_t TotalTriangles(const Graph& graph);
 
 /// Local clustering coefficient per vertex:
 /// c(v) = 2 * tri(v) / (deg(v) * (deg(v) - 1)); 0 when deg(v) < 2.
-std::vector<double> ClusteringCoefficients(const Graph& graph);
+/// Thread-count-invariant under a parallel `context` (see TriangleCounts).
+std::vector<double> ClusteringCoefficients(
+    const Graph& graph, const ExecutionContext* context = nullptr);
 
 /// The subgraph induced by `vertices` (need not be sorted; must be
 /// duplicate-free). Vertex i of the result corresponds to vertices[i];

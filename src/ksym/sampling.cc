@@ -204,4 +204,65 @@ Result<Graph> ApproximateBackboneSample(const Graph& graph,
   return sample;
 }
 
+Result<std::vector<Graph>> DrawSamples(const Graph& graph,
+                                       const VertexPartition& partition,
+                                       const BatchSampleOptions& options,
+                                       const Rng& rng,
+                                       std::vector<SampleStats>* stats) {
+  if (partition.cell_of.size() != graph.NumVertices()) {
+    return Status::InvalidArgument("partition does not match graph");
+  }
+  // Resolve the default weights once: the per-sample calls share one vector
+  // instead of recomputing it num_samples times.
+  std::vector<double> default_weights;
+  const std::vector<double>* weights = options.weights;
+  if (weights == nullptr) {
+    default_weights = SizeAwareCellWeights(graph, partition);
+    weights = &default_weights;
+  }
+  if (weights->size() != partition.cells.size()) {
+    return Status::InvalidArgument("one weight per cell required");
+  }
+
+  const size_t num_samples = options.num_samples;
+  std::vector<Graph> samples(num_samples);
+  std::vector<Status> statuses(num_samples);
+  if (stats != nullptr) {
+    stats->assign(num_samples, SampleStats{});
+  }
+  // Sample i depends only on rng.Fork(i): any shard assignment yields the
+  // same batch. Workers run the single-sample algorithms sequentially (no
+  // nested context — the pool is not reentrant).
+  ThreadPool* pool =
+      options.context == nullptr ? nullptr : options.context->pool();
+  ParallelFor(pool, num_samples,
+              [&graph, &partition, &options, &rng, weights, stats, &samples,
+               &statuses](size_t begin, size_t end, uint32_t) {
+                for (size_t i = begin; i < end; ++i) {
+                  Rng sample_rng = rng.Fork(i);
+                  SampleStats* sample_stats =
+                      stats == nullptr ? nullptr : &(*stats)[i];
+                  auto sample =
+                      options.exact
+                          ? ExactBackboneSample(graph, partition,
+                                                options.target_vertices,
+                                                sample_rng, weights,
+                                                sample_stats)
+                          : ApproximateBackboneSample(graph, partition,
+                                                      options.target_vertices,
+                                                      sample_rng, weights,
+                                                      sample_stats);
+                  if (sample.ok()) {
+                    samples[i] = std::move(sample).value();
+                  } else {
+                    statuses[i] = sample.status();
+                  }
+                }
+              });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return samples;
+}
+
 }  // namespace ksym

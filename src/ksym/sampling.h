@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "aut/orbits.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -70,6 +71,28 @@ Result<Graph> ApproximateBackboneSample(
     size_t target_vertices, Rng& rng,
     const std::vector<double>* weights = nullptr,
     SampleStats* stats = nullptr);
+
+/// Batch sampling policy for DrawSamples (the Figures 8-9 workload: 20-100
+/// draws from one release).
+struct BatchSampleOptions {
+  size_t num_samples = 1;
+  size_t target_vertices = 0;
+  bool exact = false;  // Algorithm 3 when true, Algorithms 4-5 otherwise.
+  const std::vector<double>* weights = nullptr;  // Default: size-aware.
+  const ExecutionContext* context = nullptr;
+};
+
+/// Draws options.num_samples independent samples from (graph, partition).
+/// Sample i is seeded from rng.Fork(i) — a pure function of the caller's
+/// Rng state and the index — so the batch is identical whether the draws
+/// run sequentially or sharded across options.context's pool, and `rng` is
+/// never advanced. `stats`, if non-null, is resized to one entry per
+/// sample. On failure returns the lowest-indexed sample's error.
+Result<std::vector<Graph>> DrawSamples(const Graph& graph,
+                                       const VertexPartition& partition,
+                                       const BatchSampleOptions& options,
+                                       const Rng& rng,
+                                       std::vector<SampleStats>* stats = nullptr);
 
 }  // namespace ksym
 

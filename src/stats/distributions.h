@@ -2,6 +2,10 @@
 // Section 4.3: degree distribution, shortest-path-length distribution over
 // sampled pairs, transitivity (clustering-coefficient distribution), and
 // (in resilience.h) network resilience.
+//
+// Every measure takes an optional ExecutionContext; the parallel path is
+// bit-identical to the sequential one for any thread count (see DESIGN.md
+// §8 on the deterministic parallel evaluation engine).
 
 #ifndef KSYM_STATS_DISTRIBUTIONS_H_
 #define KSYM_STATS_DISTRIBUTIONS_H_
@@ -9,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 
@@ -16,17 +21,26 @@ namespace ksym {
 
 /// Per-vertex degrees as an empirical sample (for K-S comparisons and
 /// histograms).
-std::vector<double> DegreeValues(const Graph& graph);
+std::vector<double> DegreeValues(const Graph& graph,
+                                 const ExecutionContext* context = nullptr);
 
 /// Per-vertex local clustering coefficients.
-std::vector<double> ClusteringValues(const Graph& graph);
+std::vector<double> ClusteringValues(const Graph& graph,
+                                     const ExecutionContext* context = nullptr);
 
 /// Shortest-path lengths between `num_pairs` uniformly sampled distinct
 /// vertex pairs, following the paper's protocol (500 pairs). Pairs in
 /// different components are skipped; sampling stops early if connected
 /// pairs are too rare (after 20x oversampling attempts).
+///
+/// Pairs are pre-drawn in batches and grouped by source, so each distinct
+/// source costs one BFS regardless of how many pairs share it; under a
+/// parallel `context` the per-source BFS sweeps run concurrently with
+/// per-thread distance scratch. The accepted lengths depend only on the
+/// Rng stream, never on the thread count.
 std::vector<double> SampledPathLengths(const Graph& graph, size_t num_pairs,
-                                       Rng& rng);
+                                       Rng& rng,
+                                       const ExecutionContext* context = nullptr);
 
 /// Histogram of values rounded down to integer bins; index = bin.
 std::vector<size_t> Histogram(const std::vector<double>& values);

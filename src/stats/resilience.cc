@@ -6,9 +6,9 @@
 
 namespace ksym {
 
-std::vector<std::pair<double, double>> ResilienceCurve(const Graph& graph,
-                                                       size_t num_points,
-                                                       double max_fraction) {
+std::vector<std::pair<double, double>> ResilienceCurve(
+    const Graph& graph, size_t num_points, double max_fraction,
+    const ExecutionContext* context) {
   std::vector<std::pair<double, double>> curve;
   const size_t n = graph.NumVertices();
   if (n == 0 || num_points == 0) return curve;
@@ -22,21 +22,32 @@ std::vector<std::pair<double, double>> ResilienceCurve(const Graph& graph,
     return da != db ? da > db : a < b;
   });
 
-  curve.reserve(num_points);
-  SubgraphExtractor extractor(graph);  // Reuses O(n) scratch per point.
-  std::vector<VertexId> survivors;
-  for (size_t i = 0; i < num_points; ++i) {
-    const double fraction =
-        num_points == 1 ? 0.0
-                        : max_fraction * static_cast<double>(i) /
-                              static_cast<double>(num_points - 1);
-    const size_t removed = static_cast<size_t>(fraction * static_cast<double>(n));
-    survivors.assign(order.begin() + removed, order.end());
-    std::sort(survivors.begin(), survivors.end());
-    const Graph sub = extractor.Extract(survivors);
-    const double lcc = static_cast<double>(LargestComponentSize(sub));
-    curve.emplace_back(fraction, lcc / static_cast<double>(n));
-  }
+  // Each point is a pure function of (order, fraction) written to its own
+  // slot, so the curve is identical however the points are sharded. Each
+  // shard carries its own extractor: O(n) scratch per shard, amortized over
+  // that shard's contiguous run of points.
+  curve.resize(num_points);
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  ParallelFor(
+      pool, num_points,
+      [&graph, &order, &curve, n, num_points, max_fraction](
+          size_t begin, size_t end, uint32_t) {
+        SubgraphExtractor extractor(graph);
+        std::vector<VertexId> survivors;
+        for (size_t i = begin; i < end; ++i) {
+          const double fraction =
+              num_points == 1 ? 0.0
+                              : max_fraction * static_cast<double>(i) /
+                                    static_cast<double>(num_points - 1);
+          const size_t removed =
+              static_cast<size_t>(fraction * static_cast<double>(n));
+          survivors.assign(order.begin() + removed, order.end());
+          std::sort(survivors.begin(), survivors.end());
+          const Graph sub = extractor.Extract(survivors);
+          const double lcc = static_cast<double>(LargestComponentSize(sub));
+          curve[i] = {fraction, lcc / static_cast<double>(n)};
+        }
+      });
   return curve;
 }
 

@@ -176,7 +176,8 @@ TEST(IntegrationTest, UtilityComparisonPipeline) {
     ASSERT_TRUE(sample.ok());
     samples.push_back(std::move(sample).value());
   }
-  const auto pooled = PooledKsConvergence(original, samples, DegreeValues);
+  const auto pooled = PooledKsConvergence(original, samples,
+                                      [](const Graph& g) { return DegreeValues(g); });
   ASSERT_EQ(pooled.size(), samples.size());
   EXPECT_LE(pooled.back(), 0.2);
   const UtilityDistance d = CompareUtility(original, samples[0], 300, rng);

@@ -137,7 +137,8 @@ TEST(AggregateTest, PooledConvergenceSeriesShrinks) {
     // Independent draws from the same model: same degree law family.
     samples.push_back(BarabasiAlbert(100, 2, rng));
   }
-  const auto series = PooledKsConvergence(original, samples, DegreeValues);
+  const auto series = PooledKsConvergence(original, samples,
+                                      [](const Graph& g) { return DegreeValues(g); });
   ASSERT_EQ(series.size(), 12u);
   // Later pooled estimates should not be dramatically worse than early
   // ones; and all values are valid K-S statistics.
@@ -152,7 +153,8 @@ TEST(AggregateTest, MeanConvergenceIsRunningMean) {
   Rng rng(167);
   const Graph original = MakeCycle(30);
   const std::vector<Graph> samples = {MakeCycle(30), MakePath(30)};
-  const auto series = MeanKsConvergence(original, samples, DegreeValues);
+  const auto series = MeanKsConvergence(original, samples,
+                                      [](const Graph& g) { return DegreeValues(g); });
   ASSERT_EQ(series.size(), 2u);
   EXPECT_DOUBLE_EQ(series[0], 0.0);  // Identical first sample.
   const double d2 = KolmogorovSmirnovStatistic(DegreeValues(original),

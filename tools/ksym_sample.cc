@@ -5,14 +5,18 @@
 // as an edge list.
 //
 //   ksym_sample --release release.ksym --output-prefix sample
-//               [--samples 10] [--exact] [--seed 42]
+//               [--samples 10] [--exact] [--seed 42] [--threads N]
 //
 // writes sample.0.edges, sample.1.edges, ...
+//
+// --threads N draws the samples concurrently; each sample is seeded from a
+// per-index Rng stream, so the outputs are byte-identical for any N.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "graph/algorithms.h"
 #include "graph/io.h"
@@ -24,7 +28,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: ksym_sample --release release.ksym --output-prefix P\n"
-               "                   [--samples N] [--exact] [--seed S]\n");
+               "                   [--samples N] [--exact] [--seed S]\n"
+               "                   [--threads N]\n");
 }
 
 }  // namespace
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
   size_t samples = 10;
   bool exact = false;
   uint64_t seed = 42;
+  uint32_t threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,6 +62,8 @@ int main(int argc, char** argv) {
       exact = true;
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<uint32_t>(std::atoi(next()));
     } else {
       Usage();
       return 2;
@@ -76,29 +84,34 @@ int main(int argc, char** argv) {
                release->graph.NumVertices(), release->graph.NumEdges(),
                release->partition.cells.size(), release->original_vertices);
 
-  Rng rng(seed);
+  const Rng rng(seed);
+  ExecutionContext context(threads);
   Timer timer;
-  for (size_t i = 0; i < samples; ++i) {
-    const auto sample =
-        exact ? ExactBackboneSample(release->graph, release->partition,
-                                    release->original_vertices, rng)
-              : ApproximateBackboneSample(release->graph, release->partition,
-                                          release->original_vertices, rng);
-    if (!sample.ok()) {
-      std::fprintf(stderr, "error: %s\n", sample.status().ToString().c_str());
-      return 1;
-    }
+  BatchSampleOptions batch;
+  batch.num_samples = samples;
+  batch.target_vertices = release->original_vertices;
+  batch.exact = exact;
+  batch.context = &context;
+  const auto drawn =
+      DrawSamples(release->graph, release->partition, batch, rng);
+  if (!drawn.ok()) {
+    std::fprintf(stderr, "error: %s\n", drawn.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < drawn->size(); ++i) {
+    const Graph& sample = (*drawn)[i];
     const std::string path = prefix + "." + std::to_string(i) + ".edges";
-    const Status status = WriteEdgeListFile(*sample, path);
+    const Status status = WriteEdgeListFile(sample, path);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
     }
-    const DegreeStats stats = ComputeDegreeStats(*sample);
+    const DegreeStats stats = ComputeDegreeStats(sample);
     std::fprintf(stderr, "  %s: %zu vertices, %zu edges\n", path.c_str(),
                  stats.num_vertices, stats.num_edges);
   }
-  std::fprintf(stderr, "%zu %s samples in %.1f ms\n", samples,
-               exact ? "exact" : "approximate", timer.ElapsedMillis());
+  std::fprintf(stderr, "%zu %s samples in %.1f ms (threads=%u)\n", samples,
+               exact ? "exact" : "approximate", timer.ElapsedMillis(),
+               context.threads());
   return 0;
 }
