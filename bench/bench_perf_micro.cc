@@ -6,7 +6,7 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr3.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr4.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
 // as counters, so the bench trajectory tracks space as well as time; the
 // thread-scaling sweeps record how sharded refinement
@@ -16,6 +16,11 @@
 // pipeline's RefinementStats. The JSON context records
 // hardware_concurrency so single-core containers (where the sweep cannot
 // show real speedup) are identifiable from the artifact alone.
+//
+// The PR 4 load-path benches (BM_Load*) measure graph ingestion on the
+// 200k- and 1M-vertex graphs: text edge-list parse vs owning binary
+// .ksymcsr read vs mmap zero-copy load (validated and trusted variants) —
+// the startup cost a publisher pays per anonymization run.
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
@@ -25,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "attack/measures.h"
 #include "aut/orbits.h"
 #include "aut/refinement.h"
@@ -32,6 +39,7 @@
 #include "common/rng.h"
 #include "datasets/datasets.h"
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "ksym/anonymizer.h"
 #include "ksym/backbone.h"
 #include "ksym/sampling.h"
@@ -109,6 +117,125 @@ size_t LegacyAdjacencyBytes(const std::vector<std::vector<VertexId>>& lists) {
   for (const auto& list : lists) bytes += list.capacity() * sizeof(VertexId);
   return bytes;
 }
+
+// --- PR 4 load-path benches: text parse vs owning binary read vs mmap.
+
+/// On-disk copies of a bench graph in both formats, written once to the
+/// temp dir. Iterating the load benches re-reads the same files, so the
+/// page cache is warm for every contender — the comparison isolates
+/// parse/copy/validate cost, not disk speed, matching the repeated-
+/// ingestion workload the format exists for.
+struct LoadFiles {
+  std::string text;
+  std::string csr;
+};
+
+const LoadFiles& LoadFilesFor(const Graph& graph, const char* stem) {
+  static auto* cache = new std::vector<std::pair<std::string, LoadFiles>>();
+  for (const auto& [key, files] : *cache) {
+    if (key == stem) return files;
+  }
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  LoadFiles files;
+  files.text = dir + "/ksym_bench_" + stem + ".edges";
+  files.csr = dir + "/ksym_bench_" + stem + ".ksymcsr";
+  KSYM_CHECK(WriteEdgeListFile(graph, files.text).ok());
+  KSYM_CHECK(WriteCsrFile(graph, {}, files.csr).ok());
+  cache->emplace_back(stem, std::move(files));
+  return cache->back().second;
+}
+
+void AttachLoadCounters(benchmark::State& state, const Graph& graph,
+                        const std::string& path) {
+  state.counters["vertices"] =
+      benchmark::Counter(static_cast<double>(graph.NumVertices()));
+  state.counters["edges"] =
+      benchmark::Counter(static_cast<double>(graph.NumEdges()));
+  state.counters["file_bytes"] = benchmark::Counter(
+      static_cast<double>(std::filesystem::file_size(path)));
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMegabytes());
+}
+
+void LoadTextBench(benchmark::State& state, const Graph& graph,
+                   const char* stem) {
+  const LoadFiles& files = LoadFilesFor(graph, stem);
+  for (auto _ : state) {
+    auto loaded = ReadEdgeListFile(files.text);
+    KSYM_CHECK(loaded.ok());
+    KSYM_CHECK(loaded->graph == graph);
+    benchmark::DoNotOptimize(loaded);
+  }
+  AttachLoadCounters(state, graph, files.text);
+}
+
+void LoadCsrOwningBench(benchmark::State& state, const Graph& graph,
+                        const char* stem) {
+  const LoadFiles& files = LoadFilesFor(graph, stem);
+  for (auto _ : state) {
+    auto loaded = ReadCsrFile(files.csr);
+    KSYM_CHECK(loaded.ok());
+    benchmark::DoNotOptimize(loaded);
+  }
+  AttachLoadCounters(state, graph, files.csr);
+}
+
+void LoadCsrMmapBench(benchmark::State& state, const Graph& graph,
+                      const char* stem, bool validate) {
+  const LoadFiles& files = LoadFilesFor(graph, stem);
+  CsrReadOptions options;
+  options.validate = validate;
+  for (auto _ : state) {
+    auto mapped = MapCsrFile(files.csr, options);
+    KSYM_CHECK(mapped.ok());
+    // Touch the borrowed graph so the trusted path faults in at least the
+    // header-adjacent pages; the validated path already scanned them all.
+    benchmark::DoNotOptimize(mapped->graph.Neighbors(0).size());
+    benchmark::DoNotOptimize(mapped);
+  }
+  AttachLoadCounters(state, graph, files.csr);
+}
+
+void BM_LoadTextEdgeList200k(benchmark::State& state) {
+  LoadTextBench(state, BigRefineGraph(), "200k");
+}
+BENCHMARK(BM_LoadTextEdgeList200k)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_LoadCsrOwning200k(benchmark::State& state) {
+  LoadCsrOwningBench(state, BigRefineGraph(), "200k");
+}
+BENCHMARK(BM_LoadCsrOwning200k)->Unit(benchmark::kMillisecond);
+
+void BM_LoadCsrMmap200k(benchmark::State& state) {
+  LoadCsrMmapBench(state, BigRefineGraph(), "200k", /*validate=*/true);
+}
+BENCHMARK(BM_LoadCsrMmap200k)->Unit(benchmark::kMillisecond);
+
+void BM_LoadCsrMmapTrusted200k(benchmark::State& state) {
+  LoadCsrMmapBench(state, BigRefineGraph(), "200k", /*validate=*/false);
+}
+BENCHMARK(BM_LoadCsrMmapTrusted200k)->Unit(benchmark::kMillisecond);
+
+void BM_LoadTextEdgeList1M(benchmark::State& state) {
+  LoadTextBench(state, BigScanGraph(), "1m");
+}
+BENCHMARK(BM_LoadTextEdgeList1M)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_LoadCsrOwning1M(benchmark::State& state) {
+  LoadCsrOwningBench(state, BigScanGraph(), "1m");
+}
+BENCHMARK(BM_LoadCsrOwning1M)->Unit(benchmark::kMillisecond);
+
+void BM_LoadCsrMmap1M(benchmark::State& state) {
+  LoadCsrMmapBench(state, BigScanGraph(), "1m", /*validate=*/true);
+}
+BENCHMARK(BM_LoadCsrMmap1M)->Unit(benchmark::kMillisecond);
+
+void BM_LoadCsrMmapTrusted1M(benchmark::State& state) {
+  LoadCsrMmapBench(state, BigScanGraph(), "1m", /*validate=*/false);
+}
+BENCHMARK(BM_LoadCsrMmapTrusted1M)->Unit(benchmark::kMillisecond);
 
 void BM_NeighborScanCsr(benchmark::State& state) {
   const Graph& graph = BigScanGraph();
@@ -478,7 +605,7 @@ BENCHMARK(BM_NeighborhoodMeasureThreads)
 }  // namespace
 }  // namespace ksym
 
-// Custom main: defaults JSON output to BENCH_pr3.json so every run leaves a
+// Custom main: defaults JSON output to BENCH_pr4.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -486,7 +613,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr3.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr4.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);

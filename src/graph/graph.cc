@@ -1,11 +1,17 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace ksym {
 
-Graph Graph::FromCsr(std::vector<EdgeIndex> offsets,
-                     std::vector<VertexId> neighbors) {
+namespace {
+
+// Shared cheap-invariant checks for the two adoption entry points. The full
+// per-range scan stays debug-only; untrusted bytes go through graph/io.h's
+// validator before reaching either.
+void CheckCsrInvariants(std::span<const EdgeIndex> offsets,
+                        std::span<const VertexId> neighbors) {
   KSYM_CHECK(!offsets.empty());
   KSYM_CHECK(offsets.front() == 0);
   KSYM_CHECK(offsets.back() == neighbors.size());
@@ -21,10 +27,76 @@ Graph Graph::FromCsr(std::vector<EdgeIndex> offsets,
     }
   }
 #endif
+}
+
+}  // namespace
+
+Graph Graph::FromCsr(std::vector<EdgeIndex> offsets,
+                     std::vector<VertexId> neighbors) {
+  CheckCsrInvariants(offsets, neighbors);
   Graph graph;
-  graph.offsets_ = std::move(offsets);
-  graph.neighbors_ = std::move(neighbors);
+  graph.AdoptStorage(std::move(offsets), std::move(neighbors));
   return graph;
+}
+
+Graph Graph::FromBorrowedCsr(std::span<const EdgeIndex> offsets,
+                             std::span<const VertexId> neighbors) {
+  CheckCsrInvariants(offsets, neighbors);
+  Graph graph;
+  // Free the default ctor's 1-entry array. Note `= {}` would pick the
+  // initializer_list overload and keep the capacity.
+  graph.offsets_storage_ = std::vector<EdgeIndex>();
+  graph.neighbors_storage_ = std::vector<VertexId>();
+  graph.offsets_ = offsets;
+  graph.neighbors_ = neighbors;
+  graph.borrowed_ = true;
+  return graph;
+}
+
+void Graph::AdoptStorage(std::vector<EdgeIndex> offsets,
+                         std::vector<VertexId> neighbors) {
+  offsets_storage_ = std::move(offsets);
+  neighbors_storage_ = std::move(neighbors);
+  SyncViews();
+}
+
+Graph::Graph(const Graph& other)
+    : offsets_storage_(other.offsets_storage_),
+      neighbors_storage_(other.neighbors_storage_),
+      borrowed_(other.borrowed_) {
+  if (borrowed_) {
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+  } else {
+    offsets_ = offsets_storage_;
+    neighbors_ = neighbors_storage_;
+  }
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    Graph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : offsets_storage_(std::move(other.offsets_storage_)),
+      neighbors_storage_(std::move(other.neighbors_storage_)),
+      offsets_(std::exchange(other.offsets_, {})),
+      neighbors_(std::exchange(other.neighbors_, {})),
+      borrowed_(std::exchange(other.borrowed_, false)) {}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    offsets_storage_ = std::move(other.offsets_storage_);
+    neighbors_storage_ = std::move(other.neighbors_storage_);
+    offsets_ = std::exchange(other.offsets_, {});
+    neighbors_ = std::exchange(other.neighbors_, {});
+    borrowed_ = std::exchange(other.borrowed_, false);
+  }
+  return *this;
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
@@ -82,22 +154,22 @@ Graph GraphBuilder::Build() const {
   // its back-neighbours w < u (from edges (w, u), all scanned earlier in
   // increasing w order), then its forward neighbours v > u in increasing v
   // order.
-  Graph graph(num_vertices_);
-  graph.offsets_.assign(num_vertices_ + 1, 0);
+  std::vector<EdgeIndex> offsets(num_vertices_ + 1, 0);
   for (const auto& [u, v] : edges) {
-    ++graph.offsets_[u + 1];
-    ++graph.offsets_[v + 1];
+    ++offsets[u + 1];
+    ++offsets[v + 1];
   }
   for (size_t i = 1; i <= num_vertices_; ++i) {
-    graph.offsets_[i] += graph.offsets_[i - 1];
+    offsets[i] += offsets[i - 1];
   }
-  graph.neighbors_.resize(2 * edges.size());
-  std::vector<EdgeIndex> cursor(graph.offsets_.begin(),
-                                graph.offsets_.end() - 1);
+  std::vector<VertexId> neighbors(2 * edges.size());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
   for (const auto& [u, v] : edges) {
-    graph.neighbors_[cursor[u]++] = v;
-    graph.neighbors_[cursor[v]++] = u;
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
   }
+  Graph graph;
+  graph.AdoptStorage(std::move(offsets), std::move(neighbors));
   return graph;
 }
 
@@ -137,20 +209,21 @@ void MutableGraph::AddEdge(VertexId u, VertexId v) {
 
 Graph MutableGraph::Freeze() const {
   const size_t n = adjacency_.size();
-  Graph graph(n);
-  graph.offsets_.assign(n + 1, 0);
+  std::vector<EdgeIndex> offsets(n + 1, 0);
   for (size_t v = 0; v < n; ++v) {
-    graph.offsets_[v + 1] = graph.offsets_[v] + adjacency_[v].size();
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
   }
-  graph.neighbors_.resize(graph.offsets_[n]);
+  std::vector<VertexId> neighbors(offsets[n]);
   for (size_t v = 0; v < n; ++v) {
-    VertexId* range = graph.neighbors_.data() + graph.offsets_[v];
+    VertexId* range = neighbors.data() + offsets[v];
     std::copy(adjacency_[v].begin(), adjacency_[v].end(), range);
     std::sort(range, range + adjacency_[v].size());
     KSYM_DCHECK(std::adjacent_find(range, range + adjacency_[v].size()) ==
                 range + adjacency_[v].size());
   }
-  KSYM_DCHECK(graph.neighbors_.size() == 2 * num_edges_);
+  KSYM_DCHECK(neighbors.size() == 2 * num_edges_);
+  Graph graph;
+  graph.AdoptStorage(std::move(offsets), std::move(neighbors));
   return graph;
 }
 

@@ -28,6 +28,13 @@
 // counting-sort (GraphBuilder::Build, MutableGraph::Freeze); Graph::FromCsr
 // adopts already-built arrays with no copy.
 //
+// Storage ownership. A Graph normally owns its two arrays, but
+// Graph::FromBorrowedCsr builds a *borrowed* graph whose spans point at
+// externally-owned memory (an mmap'ed .ksymcsr file — see graph/io.h). A
+// borrowed graph is a zero-copy view: copying it copies the spans, not the
+// arrays, and every copy remains valid only while the external storage
+// lives. DESIGN.md §9 spells out the lifetime contract.
+//
 // `GraphBuilder` assembles a Graph from arbitrary edge insertions
 // (deduplicating and dropping self-loops), and `MutableGraph` supports the
 // incremental vertex/edge insertion that the anonymization procedure
@@ -60,7 +67,10 @@ inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 class Graph {
  public:
   /// An empty graph with `num_vertices` isolated vertices.
-  explicit Graph(size_t num_vertices = 0) : offsets_(num_vertices + 1, 0) {}
+  explicit Graph(size_t num_vertices = 0)
+      : offsets_storage_(num_vertices + 1, 0) {
+    SyncViews();
+  }
 
   /// Adopts prebuilt CSR arrays without copying. `offsets` must have n + 1
   /// monotone entries ending at `neighbors.size()`, and every per-vertex
@@ -68,6 +78,29 @@ class Graph {
   /// (checked in debug builds).
   static Graph FromCsr(std::vector<EdgeIndex> offsets,
                        std::vector<VertexId> neighbors);
+
+  /// Builds a *borrowed* graph over externally-owned CSR arrays: no copy is
+  /// made and the caller must keep the storage alive (and unmodified) for
+  /// the lifetime of this graph and every copy of it. The arrays must
+  /// satisfy the same invariants as FromCsr; callers loading untrusted
+  /// bytes must validate first (graph/io.h does) — this entry point CHECKs
+  /// only the cheap invariants and is not a validator.
+  static Graph FromBorrowedCsr(std::span<const EdgeIndex> offsets,
+                               std::span<const VertexId> neighbors);
+
+  /// Deep copy for owning graphs; borrowed graphs copy the spans only
+  /// (both copies then alias the same external storage).
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  /// Moved-from graphs are valid only for destruction and assignment (the
+  /// same contract the previous vector-backed layout had).
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  ~Graph() = default;
+
+  /// False iff this graph borrows externally-owned storage
+  /// (FromBorrowedCsr).
+  bool OwnsStorage() const { return !borrowed_; }
 
   size_t NumVertices() const { return offsets_.size() - 1; }
 
@@ -115,24 +148,44 @@ class Graph {
   std::span<const EdgeIndex> RawOffsets() const { return offsets_; }
   std::span<const VertexId> RawNeighbors() const { return neighbors_; }
 
-  /// Heap bytes held by this graph (capacity-based, excluding sizeof(*this)).
+  /// Heap bytes held by this graph (capacity-based, excluding
+  /// sizeof(*this)). Borrowed graphs own no heap storage and report 0; the
+  /// bytes live in the external mapping.
   size_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(EdgeIndex) +
-           neighbors_.capacity() * sizeof(VertexId);
+    return offsets_storage_.capacity() * sizeof(EdgeIndex) +
+           neighbors_storage_.capacity() * sizeof(VertexId);
   }
 
-  /// Structural equality: same vertex count and identical adjacency. This is
-  /// *labelled* equality, not isomorphism.
+  /// Structural equality: same vertex count and identical adjacency
+  /// (regardless of which graph owns its storage). This is *labelled*
+  /// equality, not isomorphism.
   friend bool operator==(const Graph& a, const Graph& b) {
-    return a.offsets_ == b.offsets_ && a.neighbors_ == b.neighbors_;
+    return std::ranges::equal(a.offsets_, b.offsets_) &&
+           std::ranges::equal(a.neighbors_, b.neighbors_);
   }
 
  private:
   friend class GraphBuilder;
   friend class MutableGraph;
 
-  std::vector<EdgeIndex> offsets_;    // n + 1 entries; see file comment.
-  std::vector<VertexId> neighbors_;   // 2 * |E| entries, sorted per range.
+  /// Adopts owning storage and points the views at it.
+  void AdoptStorage(std::vector<EdgeIndex> offsets,
+                    std::vector<VertexId> neighbors);
+  /// Re-points the views at the owning storage vectors.
+  void SyncViews() {
+    offsets_ = offsets_storage_;
+    neighbors_ = neighbors_storage_;
+    borrowed_ = false;
+  }
+
+  // Owning storage; both empty when the graph borrows external memory.
+  std::vector<EdgeIndex> offsets_storage_;
+  std::vector<VertexId> neighbors_storage_;
+  // The views all accessors read. Point at the storage vectors for owning
+  // graphs, at external memory for borrowed ones.
+  std::span<const EdgeIndex> offsets_;   // n + 1 entries; see file comment.
+  std::span<const VertexId> neighbors_;  // 2 * |E| entries, sorted per range.
+  bool borrowed_ = false;
 };
 
 /// Accumulates edges and produces a valid Graph. Self-loops are dropped and

@@ -1,8 +1,17 @@
 #include "graph/io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <unordered_map>
 
@@ -73,7 +82,8 @@ Result<LoadedGraph> ReadEdgeList(std::istream& in) {
 Result<LoadedGraph> ReadEdgeListFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    return Status::IoError("cannot open " + path);
+    return Status::IoError(StrFormat("cannot open %s: %s", path.c_str(),
+                                     std::strerror(errno)));
   }
   return ReadEdgeList(in);
 }
@@ -90,8 +100,482 @@ Status WriteEdgeList(const Graph& graph, std::ostream& out) {
 
 Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open %s for writing: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
   return WriteEdgeList(graph, out);
+}
+
+// ---------------------------------------------------------------------------
+// Binary CSR (.ksymcsr). Layout and rules: DESIGN.md §9.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Value of the header's endianness tag when written and read on the same
+/// endianness. A foreign-endian file reads back byte-swapped and fails the
+/// comparison, which is the whole check.
+constexpr uint32_t kCsrEndianTag = 0x01020304u;
+
+/// The fixed 64-byte header. All fields naturally aligned, no padding;
+/// `header_checksum` covers the first 56 bytes.
+struct CsrHeader {
+  unsigned char magic[8];
+  uint32_t version;
+  uint32_t endian_tag;
+  uint64_t num_vertices;          // n
+  uint64_t num_neighbor_entries;  // 2 * |E|
+  uint64_t offsets_checksum;
+  uint64_t neighbors_checksum;
+  uint64_t labels_checksum;
+  uint64_t header_checksum;
+};
+static_assert(sizeof(CsrHeader) == 64, ".ksymcsr header must be 64 bytes");
+constexpr size_t kCsrHeaderBytes = sizeof(CsrHeader);
+constexpr size_t kCsrHeaderChecksumedBytes =
+    kCsrHeaderBytes - sizeof(uint64_t);
+
+/// Bytes of zero padding after the neighbors section so the labels section
+/// stays 8-byte aligned.
+size_t NeighborsPadBytes(uint64_t num_neighbor_entries) {
+  return (num_neighbor_entries % 2 == 0) ? 0 : sizeof(VertexId);
+}
+
+/// Section sizes and the exact total file size for given counts. Counts
+/// are pre-bounded by ValidateCsrHeader, so the arithmetic cannot overflow.
+struct CsrSections {
+  size_t offsets_bytes;
+  size_t neighbors_bytes;
+  size_t pad_bytes;
+  size_t labels_bytes;
+  size_t total_bytes;
+};
+
+CsrSections SectionsFor(uint64_t num_vertices, uint64_t num_neighbors) {
+  CsrSections s;
+  s.offsets_bytes = static_cast<size_t>(num_vertices + 1) * sizeof(EdgeIndex);
+  s.neighbors_bytes = static_cast<size_t>(num_neighbors) * sizeof(VertexId);
+  s.pad_bytes = NeighborsPadBytes(num_neighbors);
+  s.labels_bytes = static_cast<size_t>(num_vertices) * sizeof(uint64_t);
+  s.total_bytes = kCsrHeaderBytes + s.offsets_bytes + s.neighbors_bytes +
+                  s.pad_bytes + s.labels_bytes;
+  return s;
+}
+
+/// Header-first validation: magic, version, endianness, header checksum,
+/// count sanity, and the exact file size the counts imply. Runs before any
+/// section byte is touched, so a corrupt or hostile header can never steer
+/// a read out of bounds.
+Status ValidateCsrHeader(const unsigned char* data, size_t size,
+                         CsrHeader* header) {
+  if (size < kCsrHeaderBytes) {
+    return Status::IoError(
+        StrFormat("truncated .ksymcsr header: file is %zu bytes, need %zu",
+                  size, kCsrHeaderBytes));
+  }
+  std::memcpy(header, data, kCsrHeaderBytes);
+  if (std::memcmp(header->magic, kCsrMagic, sizeof(kCsrMagic)) != 0) {
+    return Status::IoError("bad magic: not a .ksymcsr file");
+  }
+  if (header->version != kCsrFormatVersion) {
+    return Status::IoError(
+        StrFormat("unsupported .ksymcsr version %u (this build reads %u)",
+                  header->version, kCsrFormatVersion));
+  }
+  if (header->endian_tag != kCsrEndianTag) {
+    return Status::IoError(
+        "endianness mismatch: file was written on a foreign-endian host");
+  }
+  if (header->header_checksum != CsrChecksum(data, kCsrHeaderChecksumedBytes)) {
+    return Status::IoError("header checksum mismatch: corrupt header");
+  }
+  // Vertex ids must fit VertexId, and the byte arithmetic below must not
+  // overflow 64 bits (the size equality then pins the counts exactly).
+  if (header->num_vertices > kInvalidVertex) {
+    return Status::IoError(StrFormat(
+        "oversized vertex count %llu (max %llu)",
+        static_cast<unsigned long long>(header->num_vertices),
+        static_cast<unsigned long long>(kInvalidVertex)));
+  }
+  if (header->num_neighbor_entries > (uint64_t{1} << 60)) {
+    return Status::IoError(StrFormat(
+        "oversized neighbor count %llu",
+        static_cast<unsigned long long>(header->num_neighbor_entries)));
+  }
+  if (header->num_neighbor_entries % 2 != 0) {
+    return Status::IoError(StrFormat(
+        "odd neighbor count %llu: symmetric adjacency requires 2|E| entries",
+        static_cast<unsigned long long>(header->num_neighbor_entries)));
+  }
+  const CsrSections sections =
+      SectionsFor(header->num_vertices, header->num_neighbor_entries);
+  if (size != sections.total_bytes) {
+    return Status::IoError(StrFormat(
+        "file size mismatch: %llu vertices / %llu neighbor entries need "
+        "%zu bytes, file has %zu (truncated file or corrupt counts)",
+        static_cast<unsigned long long>(header->num_vertices),
+        static_cast<unsigned long long>(header->num_neighbor_entries),
+        sections.total_bytes, size));
+  }
+  return Status::Ok();
+}
+
+/// Full structural validation of untrusted CSR arrays against every Graph
+/// invariant (monotone in-range offsets; sorted, duplicate-free,
+/// self-loop-free, symmetric ranges). O(n + m log d); run before the
+/// arrays are adopted so a hostile file can never break the Graph contract.
+Status ValidateCsrStructure(std::span<const EdgeIndex> offsets,
+                            std::span<const VertexId> neighbors) {
+  const size_t n = offsets.size() - 1;
+  if (offsets[0] != 0) {
+    return Status::IoError(
+        StrFormat("offsets[0] is %llu, must be 0",
+                  static_cast<unsigned long long>(offsets[0])));
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      return Status::IoError(
+          StrFormat("non-monotone offsets at vertex %zu", v));
+    }
+    if (offsets[v + 1] > neighbors.size()) {
+      return Status::IoError(StrFormat(
+          "offsets out of range at vertex %zu: %llu > %zu neighbor entries",
+          v, static_cast<unsigned long long>(offsets[v + 1]),
+          neighbors.size()));
+    }
+  }
+  if (offsets[n] != neighbors.size()) {
+    return Status::IoError(StrFormat(
+        "offsets end at %llu but the file has %zu neighbor entries",
+        static_cast<unsigned long long>(offsets[n]), neighbors.size()));
+  }
+  for (size_t v = 0; v < n; ++v) {
+    for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (neighbors[i] >= n) {
+        return Status::IoError(StrFormat(
+            "neighbor id %u of vertex %zu out of range (n = %zu)",
+            neighbors[i], v, n));
+      }
+      if (neighbors[i] == v) {
+        return Status::IoError(StrFormat("self-loop at vertex %zu", v));
+      }
+      if (i > offsets[v] && neighbors[i - 1] >= neighbors[i]) {
+        return Status::IoError(StrFormat(
+            "unsorted or duplicate neighbor list at vertex %zu", v));
+      }
+    }
+  }
+  // Symmetry: every listed arc must have its reverse. Scanning sources in
+  // ascending order means the reverse arcs of any fixed target w are also
+  // demanded in ascending source order, so one cursor per vertex replaces
+  // a binary search per arc: arc (v, w) must consume adj(w)[cursor[w]]
+  // exactly. Every probe consumes one entry and no cursor can overrun its
+  // range, so after m matched arcs all lists are fully consumed — no final
+  // cursor-vs-degree sweep is needed.
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t v = 0; v < n; ++v) {
+    for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId w = neighbors[i];
+      if (cursor[w] < offsets[w + 1] &&
+          neighbors[cursor[w]] < static_cast<VertexId>(v)) {
+        // An entry of adj(w) below v was never consumed: w lists that
+        // vertex but the reverse arc does not exist.
+        return Status::IoError(StrFormat(
+            "asymmetric adjacency: vertex %u lists %u but not vice versa",
+            w, neighbors[cursor[w]]));
+      }
+      if (cursor[w] == offsets[w + 1] ||
+          neighbors[cursor[w]] != static_cast<VertexId>(v)) {
+        return Status::IoError(StrFormat(
+            "asymmetric adjacency: vertex %zu lists %u but not vice versa",
+            v, w));
+      }
+      ++cursor[w];
+    }
+  }
+  return Status::Ok();
+}
+
+/// Checksum + structure validation shared by both load paths, applied
+/// after the header (and therefore the section bounds) checked out.
+Status ValidateCsrSections(const CsrHeader& header,
+                           std::span<const EdgeIndex> offsets,
+                           std::span<const VertexId> neighbors,
+                           std::span<const uint64_t> labels) {
+  if (CsrChecksum(offsets.data(), offsets.size_bytes()) !=
+      header.offsets_checksum) {
+    return Status::IoError("offsets section checksum mismatch: corrupt file");
+  }
+  if (CsrChecksum(neighbors.data(), neighbors.size_bytes()) !=
+      header.neighbors_checksum) {
+    return Status::IoError(
+        "neighbors section checksum mismatch: corrupt file");
+  }
+  if (CsrChecksum(labels.data(), labels.size_bytes()) !=
+      header.labels_checksum) {
+    return Status::IoError("labels section checksum mismatch: corrupt file");
+  }
+  return ValidateCsrStructure(offsets, neighbors);
+}
+
+Status CheckHostEndianness() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        ".ksymcsr is a little-endian format; this host is big-endian");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t CsrChecksum(const void* data, size_t size) {
+  // xxhash-style: one 64-bit lane, multiply-rotate-multiply per 8-byte
+  // word, splitmix64 finalizer. The exact constants are part of the format
+  // (DESIGN.md §9) — change them only with a version bump.
+  constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+  constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+  constexpr uint64_t kSeed = 0x27D4EB2F165667C5ull;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = kSeed ^ (static_cast<uint64_t>(size) * kPrime1);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    h = std::rotl(h ^ (word * kPrime2), 27) * kPrime1 + kPrime2;
+  }
+  if (i < size) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, bytes + i, size - i);
+    h = std::rotl(h ^ (tail * kPrime2), 27) * kPrime1 + kPrime2;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+Status WriteCsr(const Graph& graph, std::span<const uint64_t> labels,
+                std::ostream& out) {
+  KSYM_RETURN_IF_ERROR(CheckHostEndianness());
+  const size_t n = graph.NumVertices();
+  if (!labels.empty() && labels.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("labels size %zu does not match %zu vertices",
+                  labels.size(), n));
+  }
+  std::vector<uint64_t> identity;
+  if (labels.empty()) {
+    identity.resize(n);
+    std::iota(identity.begin(), identity.end(), uint64_t{0});
+    labels = identity;
+  }
+  const std::span<const EdgeIndex> offsets = graph.RawOffsets();
+  const std::span<const VertexId> neighbors = graph.RawNeighbors();
+
+  CsrHeader header{};
+  std::memcpy(header.magic, kCsrMagic, sizeof(kCsrMagic));
+  header.version = kCsrFormatVersion;
+  header.endian_tag = kCsrEndianTag;
+  header.num_vertices = n;
+  header.num_neighbor_entries = neighbors.size();
+  header.offsets_checksum = CsrChecksum(offsets.data(), offsets.size_bytes());
+  header.neighbors_checksum =
+      CsrChecksum(neighbors.data(), neighbors.size_bytes());
+  header.labels_checksum = CsrChecksum(labels.data(), labels.size_bytes());
+  header.header_checksum = CsrChecksum(&header, kCsrHeaderChecksumedBytes);
+
+  out.write(reinterpret_cast<const char*>(&header), kCsrHeaderBytes);
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size_bytes()));
+  out.write(reinterpret_cast<const char*>(neighbors.data()),
+            static_cast<std::streamsize>(neighbors.size_bytes()));
+  const uint64_t zero_pad = 0;
+  out.write(reinterpret_cast<const char*>(&zero_pad),
+            static_cast<std::streamsize>(NeighborsPadBytes(neighbors.size())));
+  out.write(reinterpret_cast<const char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size_bytes()));
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status WriteCsrFile(const Graph& graph, std::span<const uint64_t> labels,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open %s for writing: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  return WriteCsr(graph, labels, out);
+}
+
+Status WriteCsrFile(const LoadedGraph& loaded, const std::string& path) {
+  return WriteCsrFile(loaded.graph, loaded.labels, path);
+}
+
+Result<LoadedGraph> ReadCsrFile(const std::string& path,
+                                const CsrReadOptions& options) {
+  KSYM_RETURN_IF_ERROR(CheckHostEndianness());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  in.seekg(0, std::ios::end);
+  const size_t file_size = static_cast<size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  unsigned char header_bytes[kCsrHeaderBytes] = {};
+  in.read(reinterpret_cast<char*>(header_bytes),
+          static_cast<std::streamsize>(
+              std::min(file_size, kCsrHeaderBytes)));
+  CsrHeader header;
+  KSYM_RETURN_IF_ERROR(ValidateCsrHeader(header_bytes, file_size, &header));
+
+  const size_t n = static_cast<size_t>(header.num_vertices);
+  LoadedGraph out;
+  std::vector<EdgeIndex> offsets(n + 1);
+  std::vector<VertexId> neighbors(
+      static_cast<size_t>(header.num_neighbor_entries));
+  out.labels.resize(n);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeIndex)));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(VertexId)));
+  in.ignore(static_cast<std::streamsize>(
+      NeighborsPadBytes(header.num_neighbor_entries)));
+  in.read(reinterpret_cast<char*>(out.labels.data()),
+          static_cast<std::streamsize>(out.labels.size() * sizeof(uint64_t)));
+  if (!in) {
+    return Status::IoError(
+        StrFormat("short read on %s: file changed underneath the load",
+                  path.c_str()));
+  }
+  if (options.validate) {
+    KSYM_RETURN_IF_ERROR(
+        ValidateCsrSections(header, offsets, neighbors, out.labels));
+  }
+  out.graph = Graph::FromCsr(std::move(offsets), std::move(neighbors));
+  return out;
+}
+
+CsrMapping::CsrMapping(CsrMapping&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+CsrMapping& CsrMapping::operator=(CsrMapping&& other) noexcept {
+  if (this != &other) {
+    this->~CsrMapping();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+CsrMapping::~CsrMapping() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<CsrMapping> CsrMapping::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot open %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IoError(StrFormat(
+        "cannot stat %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("truncated .ksymcsr header: %s is empty", path.c_str()));
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps its own reference.
+  if (data == MAP_FAILED) {
+    return Status::IoError(StrFormat("cannot mmap %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  CsrMapping mapping;
+  mapping.data_ = data;
+  mapping.size_ = size;
+  return mapping;
+}
+
+Result<MappedCsrGraph> MapCsrFile(const std::string& path,
+                                  const CsrReadOptions& options) {
+  KSYM_RETURN_IF_ERROR(CheckHostEndianness());
+  KSYM_ASSIGN_OR_RETURN(CsrMapping mapping, CsrMapping::Map(path));
+  CsrHeader header;
+  KSYM_RETURN_IF_ERROR(
+      ValidateCsrHeader(mapping.data(), mapping.size(), &header));
+
+  const size_t n = static_cast<size_t>(header.num_vertices);
+  const CsrSections sections =
+      SectionsFor(header.num_vertices, header.num_neighbor_entries);
+  // mmap returns page-aligned memory and every section start is a multiple
+  // of 8 (the pad after neighbors guarantees it for labels), so these
+  // reinterpret_casts read naturally-aligned values.
+  const unsigned char* base = mapping.data();
+  const std::span<const EdgeIndex> offsets(
+      reinterpret_cast<const EdgeIndex*>(base + kCsrHeaderBytes), n + 1);
+  const std::span<const VertexId> neighbors(
+      reinterpret_cast<const VertexId*>(base + kCsrHeaderBytes +
+                                        sections.offsets_bytes),
+      static_cast<size_t>(header.num_neighbor_entries));
+  const std::span<const uint64_t> labels(
+      reinterpret_cast<const uint64_t*>(base + kCsrHeaderBytes +
+                                        sections.offsets_bytes +
+                                        sections.neighbors_bytes +
+                                        sections.pad_bytes),
+      n);
+  if (options.validate) {
+    KSYM_RETURN_IF_ERROR(
+        ValidateCsrSections(header, offsets, neighbors, labels));
+  }
+  MappedCsrGraph out;
+  out.graph = Graph::FromBorrowedCsr(offsets, neighbors);
+  out.labels = labels;
+  out.mapping = std::move(mapping);
+  return out;
+}
+
+bool IsCsrFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  unsigned char magic[sizeof(kCsrMagic)] = {};
+  in.read(reinterpret_cast<char*>(magic), sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kCsrMagic, sizeof(magic)) == 0;
+}
+
+Result<AutoLoadedGraph> ReadGraphAuto(const std::string& path,
+                                      const CsrReadOptions& options) {
+  AutoLoadedGraph out;
+  if (IsCsrFile(path)) {
+    KSYM_ASSIGN_OR_RETURN(MappedCsrGraph mapped, MapCsrFile(path, options));
+    out.graph = std::move(mapped.graph);
+    out.labels.assign(mapped.labels.begin(), mapped.labels.end());
+    out.mapping = std::move(mapped.mapping);
+    out.binary = true;
+    return out;
+  }
+  KSYM_ASSIGN_OR_RETURN(LoadedGraph loaded, ReadEdgeListFile(path));
+  out.graph = std::move(loaded.graph);
+  out.labels = std::move(loaded.labels);
+  out.binary = false;
+  return out;
 }
 
 }  // namespace ksym

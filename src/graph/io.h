@@ -1,14 +1,25 @@
-// Edge-list I/O.
+// Graph I/O: text edge lists and the binary zero-copy CSR format.
 //
-// The on-disk format is the one virtually every public network dataset uses:
-// one "u v" pair per line, '#' or '%' comment lines ignored, vertices are
+// Text format: the one virtually every public network dataset uses — one
+// "u v" pair per line, '#' or '%' comment lines ignored, vertices are
 // non-negative integers. Ids need not be dense; they are remapped to
 // [0, n) in first-appearance order and the mapping is returned.
+//
+// Binary format (.ksymcsr): a fixed 64-byte little-endian header (magic,
+// version, endianness tag, counts, per-section checksums) followed by the
+// exact `offsets` and `neighbors` arrays the in-memory Graph uses, plus the
+// original vertex labels. Two load paths: ReadCsrFile copies into owning
+// vectors (portable fallback), MapCsrFile mmaps the file and hands back a
+// Graph that *borrows* the mapping (zero parse, zero copy). Full layout,
+// checksum and versioning rules, and the borrowed-storage lifetime contract
+// are specified in DESIGN.md §9.
 
 #ifndef KSYM_GRAPH_IO_H_
 #define KSYM_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,11 +35,16 @@ struct LoadedGraph {
   std::vector<uint64_t> labels;
 };
 
+// ---------------------------------------------------------------------------
+// Text edge lists.
+// ---------------------------------------------------------------------------
+
 /// Parses an edge list from a stream. Self-loops are dropped, duplicate
-/// edges merged. Fails on malformed lines.
+/// edges merged. Accepts LF and CRLF line endings. Fails on malformed lines.
 Result<LoadedGraph> ReadEdgeList(std::istream& in);
 
-/// Reads an edge-list file from disk.
+/// Reads an edge-list file from disk. Open failures report the path and the
+/// OS error (errno).
 Result<LoadedGraph> ReadEdgeListFile(const std::string& path);
 
 /// Writes "u v" lines (internal dense ids), one undirected edge each,
@@ -37,6 +53,103 @@ Status WriteEdgeList(const Graph& graph, std::ostream& out);
 
 /// Writes an edge-list file to disk.
 Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Binary CSR (.ksymcsr).
+// ---------------------------------------------------------------------------
+
+/// First 8 bytes of every .ksymcsr file.
+inline constexpr unsigned char kCsrMagic[8] = {'K', 'S', 'Y', 'M',
+                                               'C', 'S', 'R', '\0'};
+
+/// Current format version; readers reject anything else (DESIGN.md §9).
+inline constexpr uint32_t kCsrFormatVersion = 1;
+
+/// The checksum used for every header/section checksum in the format: an
+/// xxhash-style 64-bit hash (8-byte lanes, multiply-rotate mixing, splitmix
+/// finalizer). Exposed so tests and tools can forge or verify sections.
+uint64_t CsrChecksum(const void* data, size_t size);
+
+struct CsrReadOptions {
+  /// Verify section checksums and the full CSR structural invariants
+  /// (monotone in-range offsets, sorted duplicate-free self-loop-free
+  /// symmetric ranges). Always on for untrusted files; switching it off is
+  /// only safe for files this process (or a trusted pipeline) just wrote,
+  /// and makes MapCsrFile O(1) in the graph size.
+  bool validate = true;
+};
+
+/// Writes `graph` (and per-vertex labels, which must be empty or size n) in
+/// .ksymcsr form. Empty labels write the identity labeling.
+Status WriteCsr(const Graph& graph, std::span<const uint64_t> labels,
+                std::ostream& out);
+Status WriteCsrFile(const Graph& graph, std::span<const uint64_t> labels,
+                    const std::string& path);
+Status WriteCsrFile(const LoadedGraph& loaded, const std::string& path);
+
+/// Owning load: validates header-first, then copies the sections into
+/// vectors the returned graph owns. Works on any storage, no mmap needed.
+Result<LoadedGraph> ReadCsrFile(const std::string& path,
+                                const CsrReadOptions& options = {});
+
+/// RAII handle for an mmap'ed file; unmaps on destruction. Movable,
+/// non-copyable. The mapped bytes keep their address for the lifetime of
+/// the handle (moves included), which is what lets borrowed Graphs and
+/// label spans stay valid while the mapping is alive.
+class CsrMapping {
+ public:
+  CsrMapping() = default;
+  CsrMapping(CsrMapping&& other) noexcept;
+  CsrMapping& operator=(CsrMapping&& other) noexcept;
+  CsrMapping(const CsrMapping&) = delete;
+  CsrMapping& operator=(const CsrMapping&) = delete;
+  ~CsrMapping();
+
+  bool valid() const { return data_ != nullptr; }
+  const unsigned char* data() const {
+    return static_cast<const unsigned char*>(data_);
+  }
+  size_t size() const { return size_; }
+
+  /// Maps `path` read-only. Fails with the path and errno on any OS error.
+  static Result<CsrMapping> Map(const std::string& path);
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A zero-copy loaded graph: `graph` borrows the CSR arrays inside
+/// `mapping` and `labels` points into it too, so `mapping` must outlive
+/// both (keeping the whole struct together does that; moving it is safe).
+struct MappedCsrGraph {
+  Graph graph;
+  std::span<const uint64_t> labels;
+  CsrMapping mapping;
+};
+
+/// Zero-copy load: validates header-first, then hands back a borrowed
+/// Graph over the mapping. A corrupt file yields a descriptive error,
+/// never UB (see CsrReadOptions for what `validate` covers).
+Result<MappedCsrGraph> MapCsrFile(const std::string& path,
+                                  const CsrReadOptions& options = {});
+
+/// True iff the file starts with the .ksymcsr magic. Missing/short files
+/// are simply "not binary" (the subsequent real open reports them).
+bool IsCsrFile(const std::string& path);
+
+/// Auto-detecting load for tools: .ksymcsr files (detected by magic) are
+/// mmap'ed zero-copy — `graph` borrows `mapping`, so keep the struct
+/// alive together — and anything else is parsed as a text edge list (with
+/// `mapping` left invalid and `graph` owning).
+struct AutoLoadedGraph {
+  Graph graph;
+  std::vector<uint64_t> labels;
+  CsrMapping mapping;
+  bool binary = false;
+};
+Result<AutoLoadedGraph> ReadGraphAuto(const std::string& path,
+                                      const CsrReadOptions& options = {});
 
 }  // namespace ksym
 

@@ -44,6 +44,36 @@ TEST(IoTest, DropsSelfLoopsAndDuplicates) {
   EXPECT_EQ(loaded->graph.NumEdges(), 1u);
 }
 
+TEST(IoTest, DuplicateAndSelfLoopHeavyInputCollapsesToSimpleGraph) {
+  // Every edge repeated in both orientations plus self-loops on each
+  // vertex: the loader must still produce the simple triangle.
+  std::istringstream in(
+      "0 0\n0 1\n1 0\n0 1\n1 1\n1 2\n2 1\n2 2\n2 0\n0 2\n2 0\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumVertices(), 3u);
+  EXPECT_EQ(loaded->graph.NumEdges(), 3u);
+  EXPECT_TRUE(loaded->graph == MakeCycle(3));
+}
+
+TEST(IoTest, ParsesCrlfLineEndings) {
+  std::istringstream in("# header\r\n0 1\r\n1 2\r\n\r\n2 0\r\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumVertices(), 3u);
+  EXPECT_EQ(loaded->graph.NumEdges(), 3u);
+  // The trailing '\r' must not leak into the parsed ids.
+  EXPECT_EQ(loaded->labels, (std::vector<uint64_t>{0, 1, 2}));
+}
+
+TEST(IoTest, CommentAndBlankVariants) {
+  std::istringstream in(
+      "\n   \n\t\n# comment\n   # indented comment\n% matrix-market\n0 1\n");
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->graph.NumEdges(), 1u);
+}
+
 TEST(IoTest, RejectsMalformedLine) {
   std::istringstream in("0 1\njunk\n");
   const auto loaded = ReadEdgeList(in);
@@ -87,6 +117,25 @@ TEST(IoTest, MissingFileFails) {
   const auto loaded = ReadEdgeListFile("/nonexistent/definitely/missing");
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, OpenFailureReportsPathAndErrno) {
+  const std::string path = "/nonexistent/definitely/missing";
+  const auto loaded = ReadEdgeListFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("No such file"), std::string::npos)
+      << loaded.status().message();
+
+  const Status write_status =
+      WriteEdgeListFile(MakeCycle(3), "/nonexistent/dir/out.edges");
+  ASSERT_FALSE(write_status.ok());
+  EXPECT_NE(write_status.message().find("/nonexistent/dir/out.edges"),
+            std::string::npos)
+      << write_status.message();
+  EXPECT_NE(write_status.message().find("No such file"), std::string::npos)
+      << write_status.message();
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // ksym_anonymize — command-line publisher tool.
 //
-// Reads an edge list, makes it k-symmetric (optionally excluding the top
-// hub fraction per Section 5.2, optionally with the vertex-minimal variant
-// of Section 5.1), and writes the release triple.
+// Reads a graph (text edge list or binary .ksymcsr, detected by magic —
+// binary inputs are mmap'ed zero-copy), makes it k-symmetric (optionally
+// excluding the top hub fraction per Section 5.2, optionally with the
+// vertex-minimal variant of Section 5.1), and writes the release triple.
 //
 //   ksym_anonymize --input graph.edges --output release.ksym --k 5
 //                  [--exclude-hubs 0.01] [--minimal] [--tdv] [--threads N]
@@ -80,15 +81,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto loaded = ReadEdgeListFile(input);
+  const auto loaded = ReadGraphAuto(input);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
   const Graph& graph = loaded->graph;
   const DegreeStats stats = ComputeDegreeStats(graph);
-  std::fprintf(stderr, "loaded %zu vertices, %zu edges (max degree %zu)\n",
-               stats.num_vertices, stats.num_edges, stats.max_degree);
+  std::fprintf(stderr,
+               "loaded %zu vertices, %zu edges (max degree %zu) [%s]\n",
+               stats.num_vertices, stats.num_edges, stats.max_degree,
+               loaded->binary ? "binary csr, mmap" : "text");
 
   ExecutionContext context(threads);
   AnonymizationOptions options;

@@ -1,6 +1,7 @@
 // ksym_audit — command-line privacy auditor.
 //
-// Reads an edge list and reports its exposure to structural
+// Reads a graph (text edge list or binary .ksymcsr, detected by magic —
+// binary inputs are mmap'ed zero-copy) and reports its exposure to structural
 // re-identification: per-measure unique/under-k counts, the orbit-partition
 // exposure limit, and whether the graph already satisfies k-symmetry.
 //
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto loaded = ReadEdgeListFile(input);
+  const auto loaded = ReadGraphAuto(input);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return 1;

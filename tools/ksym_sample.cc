@@ -6,8 +6,11 @@
 //
 //   ksym_sample --release release.ksym --output-prefix sample
 //               [--samples 10] [--exact] [--seed 42] [--threads N]
+//               [--binary]
 //
-// writes sample.0.edges, sample.1.edges, ...
+// writes sample.0.edges, sample.1.edges, ... — or sample.0.ksymcsr, ...
+// in the binary zero-copy CSR format (DESIGN.md §9) with --binary, which
+// the other tools auto-detect by magic.
 //
 // --threads N draws the samples concurrently; each sample is seeded from a
 // per-index Rng stream, so the outputs are byte-identical for any N.
@@ -29,7 +32,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: ksym_sample --release release.ksym --output-prefix P\n"
                "                   [--samples N] [--exact] [--seed S]\n"
-               "                   [--threads N]\n");
+               "                   [--threads N] [--binary]\n");
 }
 
 }  // namespace
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   bool exact = false;
   uint64_t seed = 42;
   uint32_t threads = 1;
+  bool binary = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       threads = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--binary") {
+      binary = true;
     } else {
       Usage();
       return 2;
@@ -100,8 +106,10 @@ int main(int argc, char** argv) {
   }
   for (size_t i = 0; i < drawn->size(); ++i) {
     const Graph& sample = (*drawn)[i];
-    const std::string path = prefix + "." + std::to_string(i) + ".edges";
-    const Status status = WriteEdgeListFile(sample, path);
+    const std::string path =
+        prefix + "." + std::to_string(i) + (binary ? ".ksymcsr" : ".edges");
+    const Status status = binary ? WriteCsrFile(sample, {}, path)
+                                 : WriteEdgeListFile(sample, path);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
