@@ -6,7 +6,7 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr4.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr5.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
 // as counters, so the bench trajectory tracks space as well as time; the
 // thread-scaling sweeps record how sharded refinement
@@ -21,6 +21,11 @@
 // 200k- and 1M-vertex graphs: text edge-list parse vs owning binary
 // .ksymcsr read vs mmap zero-copy load (validated and trusted variants) —
 // the startup cost a publisher pays per anonymization run.
+//
+// The PR 5 residency sweeps (BM_Sharded*Residency) run the shard-streaming
+// kernels over an 8-shard split of the 200k graph at LRU budgets of
+// 1/2/4/8 resident shards, against in-memory baselines — the
+// cap-vs-throughput trade the sharded subsystem exists to expose.
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
@@ -43,6 +48,9 @@
 #include "ksym/anonymizer.h"
 #include "ksym/backbone.h"
 #include "ksym/sampling.h"
+#include "shard/kernels.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_graph.h"
 #include "stats/distributions.h"
 #include "stats/resilience.h"
 
@@ -509,6 +517,134 @@ void BM_ExactSampleHepth(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactSampleHepth);
 
+// --- PR 5 sharded residency sweeps: resident-cap vs throughput for the
+// shard-streaming kernels on the 200k-vertex graph cut into 8 vertex-range
+// shards. Arg = how many of the largest shards the LRU budget can hold at
+// once; Arg(8) keeps the whole set resident (pure streaming overhead vs
+// the in-memory kernel), Arg(1) evicts on nearly every cross-shard access
+// (the out-of-core worst case). Every row computes bit-identical results —
+// only loads/evictions move.
+
+struct ShardSet {
+  std::string manifest_path;
+  size_t largest_shard_bytes = 0;
+};
+
+const ShardSet& BenchShardSet() {
+  static const ShardSet* set = [] {
+    auto* s = new ShardSet();
+    const std::string prefix =
+        std::filesystem::temp_directory_path().string() + "/ksym_bench_200k";
+    PartitionOptions options;
+    options.num_shards = 8;
+    const auto manifest =
+        Partitioner::Split(BigRefineGraph(), {}, options, prefix);
+    KSYM_CHECK(manifest.ok());
+    s->manifest_path = prefix + ".manifest";
+    for (const ShardInfo& shard : manifest->shards) {
+      s->largest_shard_bytes =
+          std::max(s->largest_shard_bytes,
+                   static_cast<size_t>(std::filesystem::file_size(
+                       ResolveShardPath(s->manifest_path, shard))));
+    }
+    return s;
+  }();
+  return *set;
+}
+
+/// Opens the bench shard set with a budget of `resident_shards` largest
+/// shards. CHECKs on failure: the set was just written by this process.
+ShardedGraph OpenBenchShards(int64_t resident_shards) {
+  const ShardSet& set = BenchShardSet();
+  ShardedGraphOptions options;
+  options.max_resident_bytes =
+      static_cast<size_t>(resident_shards) * set.largest_shard_bytes;
+  auto sharded = ShardedGraph::Open(set.manifest_path, options);
+  KSYM_CHECK(sharded.ok());
+  return std::move(*sharded);
+}
+
+void AttachResidencyCounters(benchmark::State& state,
+                             const ShardedGraph& sharded) {
+  const ShardResidencyStats& stats = sharded.stats();
+  state.counters["resident_cap_bytes"] = benchmark::Counter(
+      static_cast<double>(sharded.options().max_resident_bytes));
+  state.counters["shard_loads"] = benchmark::Counter(
+      static_cast<double>(stats.loads), benchmark::Counter::kAvgIterations);
+  state.counters["shard_evictions"] = benchmark::Counter(
+      static_cast<double>(stats.evictions),
+      benchmark::Counter::kAvgIterations);
+  state.counters["shard_hits"] = benchmark::Counter(
+      static_cast<double>(stats.hits), benchmark::Counter::kAvgIterations);
+  state.counters["peak_resident_bytes"] = benchmark::Counter(
+      static_cast<double>(stats.peak_resident_bytes));
+  state.counters["peak_rss_mb"] = benchmark::Counter(PeakRssMegabytes());
+}
+
+void BM_ShardedDegreeResidency(benchmark::State& state) {
+  ShardedGraph sharded = OpenBenchShards(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShardedDegreeValues(sharded));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sharded.NumVertices()));
+  AttachResidencyCounters(state, sharded);
+}
+BENCHMARK(BM_ShardedDegreeResidency)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedClusteringResidency(benchmark::State& state) {
+  ShardedGraph sharded = OpenBenchShards(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShardedClusteringValues(sharded));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sharded.NumVertices()));
+  AttachResidencyCounters(state, sharded);
+}
+BENCHMARK(BM_ShardedClusteringResidency)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedPathLengthsResidency(benchmark::State& state) {
+  ShardedGraph sharded = OpenBenchShards(state.range(0));
+  for (auto _ : state) {
+    Rng rng(13);  // Fresh stream per iteration: identical work each pass.
+    benchmark::DoNotOptimize(ShardedSampledPathLengths(sharded, 200, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  AttachResidencyCounters(state, sharded);
+}
+BENCHMARK(BM_ShardedPathLengthsResidency)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// The whole-graph baselines the residency sweeps compare against, on the
+/// same graph with the same kernels' in-memory counterparts.
+void BM_ShardedDegreeInMemoryBaseline(benchmark::State& state) {
+  const Graph& graph = BigRefineGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DegreeValues(graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_ShardedDegreeInMemoryBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedPathLengthsInMemoryBaseline(benchmark::State& state) {
+  const Graph& graph = BigRefineGraph();
+  for (auto _ : state) {
+    Rng rng(13);
+    benchmark::DoNotOptimize(SampledPathLengths(graph, 200, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_ShardedPathLengthsInMemoryBaseline)
+    ->Unit(benchmark::kMillisecond);
+
 // --- PR 3 thread-scaling sweeps: the parallel evaluation engine. Each
 // sweep's Arg(1) row is the sequential baseline (no pool is created), so
 // speedup = row1 / rowN; every row computes bit-identical results.
@@ -605,7 +741,7 @@ BENCHMARK(BM_NeighborhoodMeasureThreads)
 }  // namespace
 }  // namespace ksym
 
-// Custom main: defaults JSON output to BENCH_pr4.json so every run leaves a
+// Custom main: defaults JSON output to BENCH_pr5.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -613,7 +749,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr4.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr5.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);

@@ -62,15 +62,16 @@ void Graph::AdoptStorage(std::vector<EdgeIndex> offsets,
 
 Graph::Graph(const Graph& other)
     : offsets_storage_(other.offsets_storage_),
-      neighbors_storage_(other.neighbors_storage_),
-      borrowed_(other.borrowed_) {
-  if (borrowed_) {
-    offsets_ = other.offsets_;
-    neighbors_ = other.neighbors_;
-  } else {
-    offsets_ = offsets_storage_;
-    neighbors_ = neighbors_storage_;
+      neighbors_storage_(other.neighbors_storage_) {
+  if (other.borrowed_) {
+    // Copying a borrowed graph materializes an owning deep copy: a copy
+    // never aliases external storage, so it cannot dangle when the mapping
+    // behind the original is unmapped (DESIGN.md §9). Moves keep borrowing.
+    offsets_storage_.assign(other.offsets_.begin(), other.offsets_.end());
+    neighbors_storage_.assign(other.neighbors_.begin(),
+                              other.neighbors_.end());
   }
+  SyncViews();
 }
 
 Graph& Graph::operator=(const Graph& other) {

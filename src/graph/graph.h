@@ -31,9 +31,11 @@
 // Storage ownership. A Graph normally owns its two arrays, but
 // Graph::FromBorrowedCsr builds a *borrowed* graph whose spans point at
 // externally-owned memory (an mmap'ed .ksymcsr file — see graph/io.h). A
-// borrowed graph is a zero-copy view: copying it copies the spans, not the
-// arrays, and every copy remains valid only while the external storage
-// lives. DESIGN.md §9 spells out the lifetime contract.
+// borrowed graph is a zero-copy view valid only while the external storage
+// lives. *Moving* it transfers the view (still zero-copy, still tied to the
+// storage); *copying* it materializes an owning deep copy, so copies are
+// always safe to keep past the mapping's lifetime. DESIGN.md §9 spells out
+// the lifetime contract.
 //
 // `GraphBuilder` assembles a Graph from arbitrary edge insertions
 // (deduplicating and dropping self-loops), and `MutableGraph` supports the
@@ -81,15 +83,18 @@ class Graph {
 
   /// Builds a *borrowed* graph over externally-owned CSR arrays: no copy is
   /// made and the caller must keep the storage alive (and unmodified) for
-  /// the lifetime of this graph and every copy of it. The arrays must
-  /// satisfy the same invariants as FromCsr; callers loading untrusted
-  /// bytes must validate first (graph/io.h does) — this entry point CHECKs
-  /// only the cheap invariants and is not a validator.
+  /// the lifetime of this graph and anything it is moved into; copies are
+  /// owning and independent. The arrays must satisfy the same invariants as
+  /// FromCsr; callers loading untrusted bytes must validate first
+  /// (graph/io.h does) — this entry point CHECKs only the cheap invariants
+  /// and is not a validator.
   static Graph FromBorrowedCsr(std::span<const EdgeIndex> offsets,
                                std::span<const VertexId> neighbors);
 
-  /// Deep copy for owning graphs; borrowed graphs copy the spans only
-  /// (both copies then alias the same external storage).
+  /// Deep copy: a copy always owns its arrays. Copying a *borrowed* graph
+  /// deep-copies the external storage into the new graph, so no copy can
+  /// outlive-dangle the mapping it came from (moves, by contrast, keep the
+  /// borrowed view).
   Graph(const Graph& other);
   Graph& operator=(const Graph& other);
   /// Moved-from graphs are valid only for destruction and assignment (the

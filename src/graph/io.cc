@@ -15,6 +15,7 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/str.h"
 #include "graph/algorithms.h"
 
@@ -168,7 +169,7 @@ CsrSections SectionsFor(uint64_t num_vertices, uint64_t num_neighbors) {
 /// section byte is touched, so a corrupt or hostile header can never steer
 /// a read out of bounds.
 Status ValidateCsrHeader(const unsigned char* data, size_t size,
-                         CsrHeader* header) {
+                         CsrHeader* header, bool allow_odd_entries) {
   if (size < kCsrHeaderBytes) {
     return Status::IoError(
         StrFormat("truncated .ksymcsr header: file is %zu bytes, need %zu",
@@ -203,7 +204,9 @@ Status ValidateCsrHeader(const unsigned char* data, size_t size,
         "oversized neighbor count %llu",
         static_cast<unsigned long long>(header->num_neighbor_entries)));
   }
-  if (header->num_neighbor_entries % 2 != 0) {
+  if (!allow_odd_entries && header->num_neighbor_entries % 2 != 0) {
+    // Whole graphs are symmetric, so entries come in arc pairs; a shard's
+    // slice of the neighbors array carries no such guarantee.
     return Status::IoError(StrFormat(
         "odd neighbor count %llu: symmetric adjacency requires 2|E| entries",
         static_cast<unsigned long long>(header->num_neighbor_entries)));
@@ -225,8 +228,16 @@ Status ValidateCsrHeader(const unsigned char* data, size_t size,
 /// invariant (monotone in-range offsets; sorted, duplicate-free,
 /// self-loop-free, symmetric ranges). O(n + m log d); run before the
 /// arrays are adopted so a hostile file can never break the Graph contract.
+///
+/// Shard slices reuse the same walk with `global_n` = the full graph's
+/// vertex count, `base` = the slice's first global vertex (row v of the
+/// slice is global vertex base + v), and `check_symmetry` off — a slice's
+/// reverse arcs live in other shards, so symmetry is only checkable (and is
+/// implied) for the whole graph. Whole graphs pass global_n = n, base = 0.
 Status ValidateCsrStructure(std::span<const EdgeIndex> offsets,
-                            std::span<const VertexId> neighbors) {
+                            std::span<const VertexId> neighbors,
+                            uint64_t global_n, uint64_t base,
+                            bool check_symmetry) {
   const size_t n = offsets.size() - 1;
   if (offsets[0] != 0) {
     return Status::IoError(
@@ -252,20 +263,24 @@ Status ValidateCsrStructure(std::span<const EdgeIndex> offsets,
   }
   for (size_t v = 0; v < n; ++v) {
     for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
-      if (neighbors[i] >= n) {
+      if (neighbors[i] >= global_n) {
         return Status::IoError(StrFormat(
             "neighbor id %u of vertex %zu out of range (n = %zu)",
-            neighbors[i], v, n));
+            neighbors[i], static_cast<size_t>(base + v),
+            static_cast<size_t>(global_n)));
       }
-      if (neighbors[i] == v) {
-        return Status::IoError(StrFormat("self-loop at vertex %zu", v));
+      if (neighbors[i] == base + v) {
+        return Status::IoError(
+            StrFormat("self-loop at vertex %zu", static_cast<size_t>(base + v)));
       }
       if (i > offsets[v] && neighbors[i - 1] >= neighbors[i]) {
-        return Status::IoError(StrFormat(
-            "unsorted or duplicate neighbor list at vertex %zu", v));
+        return Status::IoError(
+            StrFormat("unsorted or duplicate neighbor list at vertex %zu",
+                      static_cast<size_t>(base + v)));
       }
     }
   }
+  if (!check_symmetry) return Status::Ok();
   // Symmetry: every listed arc must have its reverse. Scanning sources in
   // ascending order means the reverse arcs of any fixed target w are also
   // demanded in ascending source order, so one cursor per vertex replaces
@@ -297,12 +312,15 @@ Status ValidateCsrStructure(std::span<const EdgeIndex> offsets,
   return Status::Ok();
 }
 
-/// Checksum + structure validation shared by both load paths, applied
+/// Checksum + structure validation shared by every load path, applied
 /// after the header (and therefore the section bounds) checked out.
+/// Shard-mode options (shard_global_vertices > 0) switch the structural
+/// walk to the slice invariants.
 Status ValidateCsrSections(const CsrHeader& header,
                            std::span<const EdgeIndex> offsets,
                            std::span<const VertexId> neighbors,
-                           std::span<const uint64_t> labels) {
+                           std::span<const uint64_t> labels,
+                           const CsrReadOptions& options) {
   if (CsrChecksum(offsets.data(), offsets.size_bytes()) !=
       header.offsets_checksum) {
     return Status::IoError("offsets section checksum mismatch: corrupt file");
@@ -316,7 +334,22 @@ Status ValidateCsrSections(const CsrHeader& header,
       header.labels_checksum) {
     return Status::IoError("labels section checksum mismatch: corrupt file");
   }
-  return ValidateCsrStructure(offsets, neighbors);
+  const bool shard = options.shard_global_vertices > 0;
+  return ValidateCsrStructure(
+      offsets, neighbors,
+      shard ? options.shard_global_vertices : header.num_vertices,
+      shard ? options.shard_base : 0, /*check_symmetry=*/!shard);
+}
+
+/// Guard for the Graph-producing loaders: a shard slice violates Graph's
+/// whole-graph invariants, so routing one through them is a caller bug.
+Status RejectShardMode(const CsrReadOptions& options) {
+  if (options.shard_global_vertices != 0 || options.shard_base != 0) {
+    return Status::InvalidArgument(
+        "shard-mode reads must go through MapCsrSections: a shard slice is "
+        "not a whole graph");
+  }
+  return Status::Ok();
 }
 
 Status CheckHostEndianness() {
@@ -357,29 +390,19 @@ uint64_t CsrChecksum(const void* data, size_t size) {
   return h;
 }
 
-Status WriteCsr(const Graph& graph, std::span<const uint64_t> labels,
-                std::ostream& out) {
+Status WriteCsrSections(std::span<const EdgeIndex> offsets,
+                        std::span<const VertexId> neighbors,
+                        std::span<const uint64_t> labels, std::ostream& out) {
   KSYM_RETURN_IF_ERROR(CheckHostEndianness());
-  const size_t n = graph.NumVertices();
-  if (!labels.empty() && labels.size() != n) {
-    return Status::InvalidArgument(
-        StrFormat("labels size %zu does not match %zu vertices",
-                  labels.size(), n));
-  }
-  std::vector<uint64_t> identity;
-  if (labels.empty()) {
-    identity.resize(n);
-    std::iota(identity.begin(), identity.end(), uint64_t{0});
-    labels = identity;
-  }
-  const std::span<const EdgeIndex> offsets = graph.RawOffsets();
-  const std::span<const VertexId> neighbors = graph.RawNeighbors();
+  KSYM_CHECK(offsets.size() == labels.size() + 1);
+  KSYM_CHECK(offsets.front() == 0);
+  KSYM_CHECK(offsets.back() == neighbors.size());
 
   CsrHeader header{};
   std::memcpy(header.magic, kCsrMagic, sizeof(kCsrMagic));
   header.version = kCsrFormatVersion;
   header.endian_tag = kCsrEndianTag;
-  header.num_vertices = n;
+  header.num_vertices = labels.size();
   header.num_neighbor_entries = neighbors.size();
   header.offsets_checksum = CsrChecksum(offsets.data(), offsets.size_bytes());
   header.neighbors_checksum =
@@ -401,6 +424,24 @@ Status WriteCsr(const Graph& graph, std::span<const uint64_t> labels,
   return Status::Ok();
 }
 
+Status WriteCsr(const Graph& graph, std::span<const uint64_t> labels,
+                std::ostream& out) {
+  const size_t n = graph.NumVertices();
+  if (!labels.empty() && labels.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("labels size %zu does not match %zu vertices",
+                  labels.size(), n));
+  }
+  std::vector<uint64_t> identity;
+  if (labels.empty()) {
+    identity.resize(n);
+    std::iota(identity.begin(), identity.end(), uint64_t{0});
+    labels = identity;
+  }
+  return WriteCsrSections(graph.RawOffsets(), graph.RawNeighbors(), labels,
+                          out);
+}
+
 Status WriteCsrFile(const Graph& graph, std::span<const uint64_t> labels,
                     const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -418,6 +459,7 @@ Status WriteCsrFile(const LoadedGraph& loaded, const std::string& path) {
 Result<LoadedGraph> ReadCsrFile(const std::string& path,
                                 const CsrReadOptions& options) {
   KSYM_RETURN_IF_ERROR(CheckHostEndianness());
+  KSYM_RETURN_IF_ERROR(RejectShardMode(options));
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError(StrFormat("cannot open %s: %s", path.c_str(),
@@ -432,7 +474,8 @@ Result<LoadedGraph> ReadCsrFile(const std::string& path,
           static_cast<std::streamsize>(
               std::min(file_size, kCsrHeaderBytes)));
   CsrHeader header;
-  KSYM_RETURN_IF_ERROR(ValidateCsrHeader(header_bytes, file_size, &header));
+  KSYM_RETURN_IF_ERROR(ValidateCsrHeader(header_bytes, file_size, &header,
+                                         /*allow_odd_entries=*/false));
 
   const size_t n = static_cast<size_t>(header.num_vertices);
   LoadedGraph out;
@@ -455,10 +498,38 @@ Result<LoadedGraph> ReadCsrFile(const std::string& path,
   }
   if (options.validate) {
     KSYM_RETURN_IF_ERROR(
-        ValidateCsrSections(header, offsets, neighbors, out.labels));
+        ValidateCsrSections(header, offsets, neighbors, out.labels, options));
   }
   out.graph = Graph::FromCsr(std::move(offsets), std::move(neighbors));
   return out;
+}
+
+Result<CsrFileInfo> ReadCsrFileInfo(const std::string& path,
+                                    bool allow_odd_entries) {
+  KSYM_RETURN_IF_ERROR(CheckHostEndianness());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  in.seekg(0, std::ios::end);
+  const size_t file_size = static_cast<size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  unsigned char header_bytes[kCsrHeaderBytes] = {};
+  in.read(reinterpret_cast<char*>(header_bytes),
+          static_cast<std::streamsize>(std::min(file_size, kCsrHeaderBytes)));
+  CsrHeader header;
+  KSYM_RETURN_IF_ERROR(
+      ValidateCsrHeader(header_bytes, file_size, &header, allow_odd_entries));
+  CsrFileInfo info;
+  info.num_vertices = header.num_vertices;
+  info.num_neighbor_entries = header.num_neighbor_entries;
+  info.offsets_checksum = header.offsets_checksum;
+  info.neighbors_checksum = header.neighbors_checksum;
+  info.labels_checksum = header.labels_checksum;
+  info.header_checksum = header.header_checksum;
+  return info;
 }
 
 CsrMapping::CsrMapping(CsrMapping&& other) noexcept
@@ -513,13 +584,15 @@ Result<CsrMapping> CsrMapping::Map(const std::string& path) {
   return mapping;
 }
 
-Result<MappedCsrGraph> MapCsrFile(const std::string& path,
-                                  const CsrReadOptions& options) {
+Result<MappedCsrSections> MapCsrSections(const std::string& path,
+                                         const CsrReadOptions& options) {
   KSYM_RETURN_IF_ERROR(CheckHostEndianness());
   KSYM_ASSIGN_OR_RETURN(CsrMapping mapping, CsrMapping::Map(path));
+  const bool shard = options.shard_global_vertices > 0;
   CsrHeader header;
-  KSYM_RETURN_IF_ERROR(
-      ValidateCsrHeader(mapping.data(), mapping.size(), &header));
+  KSYM_RETURN_IF_ERROR(ValidateCsrHeader(mapping.data(), mapping.size(),
+                                         &header,
+                                         /*allow_odd_entries=*/shard));
 
   const size_t n = static_cast<size_t>(header.num_vertices);
   const CsrSections sections =
@@ -528,26 +601,37 @@ Result<MappedCsrGraph> MapCsrFile(const std::string& path,
   // of 8 (the pad after neighbors guarantees it for labels), so these
   // reinterpret_casts read naturally-aligned values.
   const unsigned char* base = mapping.data();
-  const std::span<const EdgeIndex> offsets(
+  MappedCsrSections out;
+  out.offsets = std::span<const EdgeIndex>(
       reinterpret_cast<const EdgeIndex*>(base + kCsrHeaderBytes), n + 1);
-  const std::span<const VertexId> neighbors(
+  out.neighbors = std::span<const VertexId>(
       reinterpret_cast<const VertexId*>(base + kCsrHeaderBytes +
                                         sections.offsets_bytes),
       static_cast<size_t>(header.num_neighbor_entries));
-  const std::span<const uint64_t> labels(
+  out.labels = std::span<const uint64_t>(
       reinterpret_cast<const uint64_t*>(base + kCsrHeaderBytes +
                                         sections.offsets_bytes +
                                         sections.neighbors_bytes +
                                         sections.pad_bytes),
       n);
   if (options.validate) {
-    KSYM_RETURN_IF_ERROR(
-        ValidateCsrSections(header, offsets, neighbors, labels));
+    KSYM_RETURN_IF_ERROR(ValidateCsrSections(header, out.offsets,
+                                             out.neighbors, out.labels,
+                                             options));
   }
-  MappedCsrGraph out;
-  out.graph = Graph::FromBorrowedCsr(offsets, neighbors);
-  out.labels = labels;
   out.mapping = std::move(mapping);
+  return out;
+}
+
+Result<MappedCsrGraph> MapCsrFile(const std::string& path,
+                                  const CsrReadOptions& options) {
+  KSYM_RETURN_IF_ERROR(RejectShardMode(options));
+  KSYM_ASSIGN_OR_RETURN(MappedCsrSections sections,
+                        MapCsrSections(path, options));
+  MappedCsrGraph out;
+  out.graph = Graph::FromBorrowedCsr(sections.offsets, sections.neighbors);
+  out.labels = sections.labels;
+  out.mapping = std::move(sections.mapping);
   return out;
 }
 

@@ -77,6 +77,18 @@ struct CsrReadOptions {
   /// only safe for files this process (or a trusted pipeline) just wrote,
   /// and makes MapCsrFile O(1) in the graph size.
   bool validate = true;
+
+  /// Shard mode (DESIGN.md §10): nonzero means the file is one vertex-range
+  /// shard of a graph with `shard_global_vertices` vertices whose range
+  /// starts at global vertex `shard_base`. A shard slice keeps *global*
+  /// neighbor ids, is generally not symmetric, and may hold an odd number
+  /// of entries, so structural validation switches to the shard invariants:
+  /// neighbor ids bounded by the global vertex count, self-loops judged
+  /// relative to `shard_base`, sorted duplicate-free rows, no symmetry
+  /// walk. Only MapCsrSections honours these fields; the Graph-producing
+  /// loaders are whole-graph only and reject shard-mode options.
+  uint64_t shard_global_vertices = 0;
+  uint64_t shard_base = 0;
 };
 
 /// Writes `graph` (and per-vertex labels, which must be empty or size n) in
@@ -86,6 +98,35 @@ Status WriteCsr(const Graph& graph, std::span<const uint64_t> labels,
 Status WriteCsrFile(const Graph& graph, std::span<const uint64_t> labels,
                     const std::string& path);
 Status WriteCsrFile(const LoadedGraph& loaded, const std::string& path);
+
+/// Writes raw CSR sections in .ksymcsr form without going through a Graph —
+/// the shard writer (offsets rebased to 0, neighbors holding global ids,
+/// labels for the range). `offsets` must start at 0, end at
+/// `neighbors.size()`, and hold exactly `labels.size() + 1` entries; those
+/// are programming contracts (checked), not file validation. WriteCsr
+/// delegates here, so whole-graph files and shard files share one byte-exact
+/// writer.
+Status WriteCsrSections(std::span<const EdgeIndex> offsets,
+                        std::span<const VertexId> neighbors,
+                        std::span<const uint64_t> labels, std::ostream& out);
+
+/// Header fields of a .ksymcsr file, readable in O(1) without touching the
+/// sections: the counts plus every stored checksum. Powers `ksym_convert`'s
+/// info output and the shard manifest cross-checks.
+struct CsrFileInfo {
+  uint64_t num_vertices = 0;
+  uint64_t num_neighbor_entries = 0;  // 2|E| for whole graphs
+  uint64_t offsets_checksum = 0;
+  uint64_t neighbors_checksum = 0;
+  uint64_t labels_checksum = 0;
+  uint64_t header_checksum = 0;
+};
+
+/// Reads and validates just the 64-byte header (magic, version, endianness,
+/// header checksum, count sanity, exact file size). `allow_odd_entries`
+/// admits shard files, whose neighbors slice may be odd-length.
+Result<CsrFileInfo> ReadCsrFileInfo(const std::string& path,
+                                    bool allow_odd_entries = false);
 
 /// Owning load: validates header-first, then copies the sections into
 /// vectors the returned graph owns. Works on any storage, no mmap needed.
@@ -130,9 +171,23 @@ struct MappedCsrGraph {
 
 /// Zero-copy load: validates header-first, then hands back a borrowed
 /// Graph over the mapping. A corrupt file yields a descriptive error,
-/// never UB (see CsrReadOptions for what `validate` covers).
+/// never UB (see CsrReadOptions for what `validate` covers). Whole-graph
+/// only; shard files load through MapCsrSections.
 Result<MappedCsrGraph> MapCsrFile(const std::string& path,
                                   const CsrReadOptions& options = {});
+
+/// Zero-copy mapped raw sections, no Graph constructed: the three spans
+/// borrow `mapping` (keep the struct together; moving it is safe). This is
+/// the loader shard files go through — a shard slice is not a valid whole
+/// graph — and the layer MapCsrFile itself builds on.
+struct MappedCsrSections {
+  std::span<const EdgeIndex> offsets;  // num_vertices + 1 entries
+  std::span<const VertexId> neighbors;
+  std::span<const uint64_t> labels;  // num_vertices entries
+  CsrMapping mapping;
+};
+Result<MappedCsrSections> MapCsrSections(const std::string& path,
+                                         const CsrReadOptions& options = {});
 
 /// True iff the file starts with the .ksymcsr magic. Missing/short files
 /// are simply "not binary" (the subsequent real open reports them).

@@ -1,0 +1,301 @@
+#include "shard/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ksym {
+
+namespace {
+
+ShardView MustShard(ShardedGraph& graph, uint32_t s) {
+  Result<ShardView> view = graph.Shard(s);
+  KSYM_CHECK(view.ok());
+  return std::move(view).value();
+}
+
+// Shard-pair core of ShardedTriangleCounts, mirroring algorithms.cc's
+// CountTrianglesRange: for each edge (u, v) with u in [ubegin, uend) of
+// shard `vi` and v a forward neighbour (> u) inside shard `vj`'s range,
+// intersect u's > v suffix with v's > v suffix. Every common value w closes
+// the triangle {u, v, w}; crediting all three corners per (si, sj) pair and
+// summing over sj reproduces the whole-graph corner counts term for term —
+// integer adds commute, so the totals are exactly equal.
+template <typename AddFn>
+void CountTrianglesShardPair(const ShardView& vi, const ShardView& vj,
+                             VertexId ubegin, VertexId uend,
+                             const AddFn& add) {
+  for (VertexId u = ubegin; u < uend; ++u) {
+    const auto nu = vi.Neighbors(u);
+    // Forward neighbours of u restricted to vj's vertex range: a
+    // contiguous sorted sub-span, found by two binary searches.
+    const VertexId lo = std::max<VertexId>(u + 1, vj.begin());
+    auto itv = std::lower_bound(nu.begin(), nu.end(), lo);
+    const auto itv_end = std::lower_bound(itv, nu.end(), vj.end());
+    for (; itv != itv_end; ++itv) {
+      const VertexId v = *itv;
+      const auto nv = vj.Neighbors(v);
+      auto iu = itv + 1;  // First entry of nu greater than v.
+      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          const VertexId w = *iu;
+          add(u);
+          add(v);
+          add(w);
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+}
+
+/// True iff some forward edge from `vi` lands in [tbegin, tend) — the
+/// pre-scan that lets ShardedTriangleCounts skip loading pair shards no
+/// edge reaches. Reads only the already-resident `vi`.
+bool AnyForwardEdgeInto(const ShardView& vi, VertexId tbegin, VertexId tend) {
+  for (VertexId u = vi.begin(); u < vi.end(); ++u) {
+    const auto nu = vi.Neighbors(u);
+    const auto first =
+        std::lower_bound(nu.begin(), nu.end(), std::max<VertexId>(u + 1, tbegin));
+    if (first != nu.end() && *first < tend) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> ShardedDegreeValues(ShardedGraph& graph,
+                                        const ExecutionContext* context) {
+  std::vector<double> values(graph.NumVertices());
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  for (uint32_t s = 0; s < graph.NumShards(); ++s) {
+    const ShardView view = MustShard(graph, s);
+    const VertexId base = view.begin();
+    ParallelFor(pool, view.NumVertices(),
+                [&view, &values, base](size_t begin, size_t end, uint32_t) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const VertexId v = base + static_cast<VertexId>(i);
+                    values[v] = static_cast<double>(view.Degree(v));
+                  }
+                });
+  }
+  return values;
+}
+
+std::vector<uint64_t> ShardedTriangleCounts(ShardedGraph& graph,
+                                            const ExecutionContext* context) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint64_t> tri(n, 0);
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  const uint32_t num_shards = graph.NumShards();
+  for (uint32_t si = 0; si < num_shards; ++si) {
+    // The views pin their mappings, so the pair loop stays correct even
+    // when the residency cap evicts one of them from the cache.
+    const ShardView vi = MustShard(graph, si);
+    for (uint32_t sj = si; sj < num_shards; ++sj) {
+      const ShardInfo& tj = graph.manifest().shards[sj];
+      if (sj != si && !AnyForwardEdgeInto(vi, tj.begin, tj.end)) continue;
+      const ShardView vj = MustShard(graph, sj);
+      if (pool == nullptr) {
+        CountTrianglesShardPair(vi, vj, vi.begin(), vi.end(),
+                                [&tri](VertexId v) { ++tri[v]; });
+      } else {
+        const VertexId base = vi.begin();
+        ParallelFor(pool, vi.NumVertices(),
+                    [&vi, &vj, &tri, base](size_t begin, size_t end,
+                                           uint32_t) {
+                      CountTrianglesShardPair(
+                          vi, vj, base + static_cast<VertexId>(begin),
+                          base + static_cast<VertexId>(end),
+                          [&tri](VertexId v) {
+                            std::atomic_ref<uint64_t> count(tri[v]);
+                            count.fetch_add(1, std::memory_order_relaxed);
+                          });
+                    });
+      }
+    }
+  }
+  return tri;
+}
+
+uint64_t ShardedTotalTriangles(ShardedGraph& graph,
+                               const ExecutionContext* context) {
+  const std::vector<uint64_t> tri = ShardedTriangleCounts(graph, context);
+  const uint64_t corner_sum =
+      std::accumulate(tri.begin(), tri.end(), uint64_t{0});
+  return corner_sum / 3;
+}
+
+std::vector<double> ShardedClusteringValues(ShardedGraph& graph,
+                                            const ExecutionContext* context) {
+  const std::vector<uint64_t> tri = ShardedTriangleCounts(graph, context);
+  const size_t n = graph.NumVertices();
+  std::vector<double> cc(n, 0.0);
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  for (uint32_t s = 0; s < graph.NumShards(); ++s) {
+    const ShardView view = MustShard(graph, s);
+    const VertexId base = view.begin();
+    // The exact expression ClusteringCoefficients evaluates, on identical
+    // integers — so the doubles are identical too.
+    ParallelFor(pool, view.NumVertices(),
+                [&view, &tri, &cc, base](size_t begin, size_t end, uint32_t) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const VertexId v = base + static_cast<VertexId>(i);
+                    const size_t d = view.Degree(v);
+                    if (d >= 2) {
+                      cc[v] = 2.0 * static_cast<double>(tri[v]) /
+                              (static_cast<double>(d) *
+                               static_cast<double>(d - 1));
+                    }
+                  }
+                });
+  }
+  return cc;
+}
+
+void ShardedBfsDistancesInto(ShardedGraph& graph, VertexId source,
+                             std::vector<int64_t>& dist,
+                             const ExecutionContext* context) {
+  const size_t n = graph.NumVertices();
+  KSYM_DCHECK(source < n);
+  dist.assign(n, -1);
+  dist[source] = 0;
+  ThreadPool* pool = context == nullptr ? nullptr : context->pool();
+  const uint32_t workers = pool == nullptr ? 1 : pool->num_threads();
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::vector<std::vector<VertexId>> next_per_worker(workers);
+  int64_t level = 0;
+  while (!frontier.empty()) {
+    // Sorting the frontier turns it into contiguous per-shard runs, so each
+    // level touches every shard at most once, in range order. The claimed
+    // distances are pure level values — whichever claimant wins writes the
+    // same number — so traversal order never shows in the output.
+    std::sort(frontier.begin(), frontier.end());
+    next.clear();
+    size_t i = 0;
+    while (i < frontier.size()) {
+      const ShardView view = MustShard(graph, graph.ShardOf(frontier[i]));
+      size_t j = i;
+      while (j < frontier.size() && frontier[j] < view.end()) ++j;
+      if (pool == nullptr) {
+        for (size_t t = i; t < j; ++t) {
+          for (const VertexId w : view.Neighbors(frontier[t])) {
+            if (dist[w] < 0) {
+              dist[w] = level + 1;
+              next.push_back(w);
+            }
+          }
+        }
+      } else {
+        for (auto& bucket : next_per_worker) bucket.clear();
+        ParallelFor(
+            pool, j - i,
+            [&view, &frontier, &dist, &next_per_worker, i, level](
+                size_t begin, size_t end, uint32_t worker) {
+              std::vector<VertexId>& out = next_per_worker[worker];
+              for (size_t t = begin; t < end; ++t) {
+                for (const VertexId w : view.Neighbors(frontier[i + t])) {
+                  std::atomic_ref<int64_t> d(dist[w]);
+                  int64_t expected = -1;
+                  if (d.load(std::memory_order_relaxed) == -1 &&
+                      d.compare_exchange_strong(expected, level + 1,
+                                                std::memory_order_relaxed)) {
+                    out.push_back(w);
+                  }
+                }
+              }
+            });
+        for (const auto& bucket : next_per_worker) {
+          next.insert(next.end(), bucket.begin(), bucket.end());
+        }
+      }
+      i = j;
+    }
+    frontier.swap(next);
+    ++level;
+  }
+}
+
+std::vector<double> ShardedSampledPathLengths(ShardedGraph& graph,
+                                              size_t num_pairs, Rng& rng,
+                                              const ExecutionContext* context) {
+  std::vector<double> lengths;
+  const size_t n = graph.NumVertices();
+  if (n < 2 || num_pairs == 0) return lengths;
+  lengths.reserve(num_pairs);
+
+  // The batching, draw order, grouping, and acceptance below replicate
+  // SampledPathLengths (stats/distributions.cc) exactly: batch sizes are a
+  // function of the accepted count alone, every draw consumes two
+  // NextBounded(n) calls, and distances land in draw-position slots. With
+  // ShardedBfsDistancesInto producing the same distances as the in-memory
+  // BFS, the accepted lengths are bit-identical on the same seed.
+  size_t attempts = 0;
+  const size_t max_attempts = num_pairs * 20;
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<uint32_t> by_source;              // Pair indices, grouped.
+  std::vector<std::pair<uint32_t, uint32_t>> groups;  // [begin, end) runs.
+  std::vector<int64_t> result;                  // Distance per pair; -1 skip.
+  std::vector<int64_t> dist;
+  while (lengths.size() < num_pairs && attempts < max_attempts) {
+    const size_t batch =
+        std::min(num_pairs - lengths.size(), max_attempts - attempts);
+    attempts += batch;
+    pairs.clear();
+    for (size_t i = 0; i < batch; ++i) {
+      const VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      pairs.emplace_back(u, v);
+    }
+
+    by_source.resize(batch);
+    std::iota(by_source.begin(), by_source.end(), 0u);
+    std::sort(by_source.begin(), by_source.end(),
+              [&pairs](uint32_t a, uint32_t b) {
+                return pairs[a].first != pairs[b].first
+                           ? pairs[a].first < pairs[b].first
+                           : a < b;
+              });
+    groups.clear();
+    for (uint32_t i = 0; i < batch;) {
+      uint32_t j = i + 1;
+      while (j < batch &&
+             pairs[by_source[j]].first == pairs[by_source[i]].first) {
+        ++j;
+      }
+      groups.emplace_back(i, j);
+      i = j;
+    }
+
+    // Unlike the in-memory kernel, groups run sequentially — each BFS is
+    // itself shard-parallel and the graph's residency cache is
+    // single-threaded — but they still fill disjoint draw-position slots.
+    result.assign(batch, -1);
+    for (const auto& [run_begin, run_end] : groups) {
+      const VertexId source = pairs[by_source[run_begin]].first;
+      ShardedBfsDistancesInto(graph, source, dist, context);
+      for (uint32_t r = run_begin; r < run_end; ++r) {
+        const auto [u, v] = pairs[by_source[r]];
+        if (u != v) result[by_source[r]] = dist[v];
+      }
+    }
+
+    // Accept in draw order: self-pairs and cross-component pairs stay -1.
+    for (size_t i = 0; i < batch && lengths.size() < num_pairs; ++i) {
+      if (result[i] >= 0) lengths.push_back(static_cast<double>(result[i]));
+    }
+  }
+  return lengths;
+}
+
+}  // namespace ksym

@@ -1,0 +1,76 @@
+// Shard-streaming evaluation kernels over a ShardedGraph, threaded through
+// ExecutionContext like every in-memory kernel — and each bit-identical to
+// its whole-graph counterpart (DESIGN.md §10):
+//
+//   ShardedDegreeValues       == DegreeValues         (same slots, same values)
+//   ShardedTriangleCounts     == TriangleCounts       (same integer corner sums)
+//   ShardedClusteringValues   == ClusteringValues     (same doubles: identical
+//                                integers through the identical expression)
+//   ShardedBfsDistancesInto   == BfsDistancesInto     (pure level distances)
+//   ShardedSampledPathLengths == SampledPathLengths   (same Rng stream, same
+//                                batching, same acceptance order)
+//
+// The bit-identical-to-resident argument: every kernel decomposes its
+// whole-graph computation into per-shard(-pair) pieces whose merge is either
+// slot-disjoint writes (degrees, clustering, BFS levels) or commutative
+// integer accumulation (triangle corner credits), so the result cannot
+// depend on which shards were resident when, on eviction order, or on the
+// thread count. Tests pin this at 1/2/4 shards x 1/2/4 threads.
+//
+// All kernels take the graph by mutable reference (loading shards mutates
+// the residency cache) and CHECK on shard-load failure: ShardedGraph::Open
+// has already validated the manifest and every shard header, so a failure
+// here means the files changed on disk mid-computation.
+
+#ifndef KSYM_SHARD_KERNELS_H_
+#define KSYM_SHARD_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "shard/sharded_graph.h"
+
+namespace ksym {
+
+/// Per-vertex degrees as an empirical sample; == DegreeValues.
+std::vector<double> ShardedDegreeValues(
+    ShardedGraph& graph, const ExecutionContext* context = nullptr);
+
+/// Per-vertex triangle corner counts, streaming resident shard pairs
+/// (si, sj) with sj >= si: the pair processes exactly the edges (u, v),
+/// u < v, u in si, v in sj, with the same sorted-suffix intersection as the
+/// in-memory kernel. Shard pairs with no crossing edge are skipped without
+/// being loaded. == TriangleCounts.
+std::vector<uint64_t> ShardedTriangleCounts(
+    ShardedGraph& graph, const ExecutionContext* context = nullptr);
+
+/// Total distinct triangles; == TotalTriangles.
+uint64_t ShardedTotalTriangles(ShardedGraph& graph,
+                               const ExecutionContext* context = nullptr);
+
+/// Per-vertex local clustering coefficients; == ClusteringValues.
+std::vector<double> ShardedClusteringValues(
+    ShardedGraph& graph, const ExecutionContext* context = nullptr);
+
+/// Shard-aware BFS: dist[v] = hops from source, -1 if unreachable. Each
+/// level sorts its frontier into contiguous per-shard runs so every shard
+/// is touched at most once per level; distances are pure level values, so
+/// the output equals BfsDistancesInto's regardless of shard count, thread
+/// count, or eviction order.
+void ShardedBfsDistancesInto(ShardedGraph& graph, VertexId source,
+                             std::vector<int64_t>& dist,
+                             const ExecutionContext* context = nullptr);
+
+/// Shortest-path lengths over sampled pairs, following SampledPathLengths'
+/// exact protocol (batch draw, group by source, one BFS per distinct
+/// source, accept in draw order): consumes the identical Rng stream and
+/// returns bit-identical lengths on the same seed. == SampledPathLengths.
+std::vector<double> ShardedSampledPathLengths(
+    ShardedGraph& graph, size_t num_pairs, Rng& rng,
+    const ExecutionContext* context = nullptr);
+
+}  // namespace ksym
+
+#endif  // KSYM_SHARD_KERNELS_H_

@@ -1,0 +1,295 @@
+#include "shard/manifest.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "common/check.h"
+#include "common/str.h"
+#include "graph/io.h"
+
+namespace ksym {
+
+namespace {
+
+constexpr uint64_t kManifestVersion = 1;
+
+/// Fixed-width lowercase hex, the only checksum spelling the format admits.
+bool ParseHex64(std::string_view s, uint64_t* out) {
+  if (s.size() != 16) return false;
+  uint64_t value = 0;
+  for (const char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+uint32_t ShardManifest::ShardOf(VertexId v) const {
+  KSYM_DCHECK(v < num_vertices);
+  KSYM_DCHECK(!shards.empty());
+  const auto it = std::upper_bound(
+      shards.begin(), shards.end(), v,
+      [](VertexId vertex, const ShardInfo& s) { return vertex < s.begin; });
+  return static_cast<uint32_t>(it - shards.begin()) - 1;
+}
+
+Status ShardManifest::Validate() const {
+  if (shards.empty()) {
+    return Status::IoError("manifest lists no shards");
+  }
+  uint64_t entries = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardInfo& s = shards[i];
+    if (s.begin >= s.end) {
+      return Status::IoError(
+          StrFormat("shard %zu has an empty range [%u, %u)", i, s.begin,
+                    s.end));
+    }
+    if (i == 0) {
+      if (s.begin != 0) {
+        return Status::IoError(
+            StrFormat("range gap: shard 0 starts at %u, not 0", s.begin));
+      }
+    } else if (s.begin < shards[i - 1].end) {
+      return Status::IoError(StrFormat(
+          "range overlap: shard %zu starts at %u inside shard %zu, which "
+          "ends at %u",
+          i, s.begin, i - 1, shards[i - 1].end));
+    } else if (s.begin > shards[i - 1].end) {
+      return Status::IoError(StrFormat(
+          "range gap: shard %zu starts at %u but shard %zu ends at %u", i,
+          s.begin, i - 1, shards[i - 1].end));
+    }
+    if (s.file.empty()) {
+      return Status::IoError(StrFormat("shard %zu names no file", i));
+    }
+    entries += s.neighbor_entries;
+  }
+  if (shards.back().end != num_vertices) {
+    return Status::IoError(StrFormat(
+        "range gap: shards cover [0, %u) but the graph has %llu vertices",
+        shards.back().end,
+        static_cast<unsigned long long>(num_vertices)));
+  }
+  if (entries != num_neighbor_entries) {
+    return Status::IoError(StrFormat(
+        "entry count mismatch: shard entries sum to %llu, manifest "
+        "declares %llu",
+        static_cast<unsigned long long>(entries),
+        static_cast<unsigned long long>(num_neighbor_entries)));
+  }
+  return Status::Ok();
+}
+
+std::string ShardManifest::Serialize() const {
+  std::string out = StrFormat(
+      "KSYMSHARDS %llu\n", static_cast<unsigned long long>(kManifestVersion));
+  out += StrFormat("vertices %llu\n",
+                   static_cast<unsigned long long>(num_vertices));
+  out += StrFormat("neighbor_entries %llu\n",
+                   static_cast<unsigned long long>(num_neighbor_entries));
+  out += StrFormat("shards %zu\n", shards.size());
+  for (const ShardInfo& s : shards) {
+    out += StrFormat("shard %u %u %llu %016llx %s\n", s.begin, s.end,
+                     static_cast<unsigned long long>(s.neighbor_entries),
+                     static_cast<unsigned long long>(s.header_checksum),
+                     s.file.c_str());
+  }
+  out += StrFormat(
+      "checksum %016llx\n",
+      static_cast<unsigned long long>(CsrChecksum(out.data(), out.size())));
+  return out;
+}
+
+Result<ShardManifest> ShardManifest::Parse(std::string_view text) {
+  ShardManifest manifest;
+  size_t pos = 0;
+  size_t line_no = 0;
+  uint64_t declared_shards = 0;
+  bool saw_checksum = false;
+
+  const auto fail = [&line_no](const char* what) {
+    return Status::IoError(StrFormat("manifest line %zu: %s", line_no, what));
+  };
+
+  while (pos < text.size()) {
+    const size_t line_start = pos;
+    const size_t eol = text.find('\n', pos);
+    std::string_view line;
+    if (eol == std::string_view::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+    }
+    ++line_no;
+    const std::vector<std::string_view> fields = SplitWhitespace(line);
+
+    if (line_no == 1) {
+      if (fields.size() != 2 || fields[0] != "KSYMSHARDS") {
+        return Status::IoError("bad manifest magic: not a KSYMSHARDS file");
+      }
+      uint64_t version = 0;
+      if (!ParseUint64(fields[1], &version) || version != kManifestVersion) {
+        return Status::IoError(StrFormat(
+            "unsupported manifest version '%s' (this build reads %llu)",
+            std::string(fields[1]).c_str(),
+            static_cast<unsigned long long>(kManifestVersion)));
+      }
+      continue;
+    }
+    if (fields.empty()) return fail("unexpected blank line");
+
+    if (fields[0] == "vertices") {
+      if (fields.size() != 2 ||
+          !ParseUint64(fields[1], &manifest.num_vertices)) {
+        return fail("malformed 'vertices' line");
+      }
+    } else if (fields[0] == "neighbor_entries") {
+      if (fields.size() != 2 ||
+          !ParseUint64(fields[1], &manifest.num_neighbor_entries)) {
+        return fail("malformed 'neighbor_entries' line");
+      }
+    } else if (fields[0] == "shards") {
+      if (fields.size() != 2 || !ParseUint64(fields[1], &declared_shards)) {
+        return fail("malformed 'shards' line");
+      }
+    } else if (fields[0] == "shard") {
+      if (fields.size() != 6) return fail("malformed 'shard' line");
+      ShardInfo s;
+      uint64_t begin = 0;
+      uint64_t end = 0;
+      if (!ParseUint64(fields[1], &begin) || !ParseUint64(fields[2], &end) ||
+          begin > kInvalidVertex || end > kInvalidVertex ||
+          !ParseUint64(fields[3], &s.neighbor_entries) ||
+          !ParseHex64(fields[4], &s.header_checksum)) {
+        return fail("malformed 'shard' line");
+      }
+      s.begin = static_cast<VertexId>(begin);
+      s.end = static_cast<VertexId>(end);
+      s.file = std::string(fields[5]);
+      manifest.shards.push_back(std::move(s));
+    } else if (fields[0] == "checksum") {
+      uint64_t stored = 0;
+      if (fields.size() != 2 || !ParseHex64(fields[1], &stored)) {
+        return fail("malformed 'checksum' line");
+      }
+      if (stored != CsrChecksum(text.data(), line_start)) {
+        return Status::IoError(
+            "manifest checksum mismatch: corrupt manifest");
+      }
+      saw_checksum = true;
+      if (pos < text.size()) return fail("trailing data after checksum line");
+    } else {
+      return fail("unknown field");
+    }
+  }
+
+  if (line_no == 0) {
+    return Status::IoError("bad manifest magic: empty file");
+  }
+  if (!saw_checksum) {
+    return Status::IoError(
+        "manifest missing checksum line: truncated manifest");
+  }
+  if (declared_shards != manifest.shards.size()) {
+    return Status::IoError(StrFormat(
+        "manifest declares %llu shards but lists %zu",
+        static_cast<unsigned long long>(declared_shards),
+        manifest.shards.size()));
+  }
+  KSYM_RETURN_IF_ERROR(manifest.Validate());
+  return manifest;
+}
+
+Result<ShardManifest> ShardManifest::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) {
+    return Status::IoError(StrFormat("read failed on %s", path.c_str()));
+  }
+  return Parse(text);
+}
+
+Status ShardManifest::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open %s for writing: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  const std::string text = Serialize();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+std::string ResolveShardPath(const std::string& manifest_path,
+                             const ShardInfo& shard) {
+  if (!shard.file.empty() && shard.file.front() == '/') return shard.file;
+  const size_t slash = manifest_path.find_last_of('/');
+  if (slash == std::string::npos) return shard.file;
+  return manifest_path.substr(0, slash + 1) + shard.file;
+}
+
+Status VerifyShardFiles(const ShardManifest& manifest,
+                        const std::string& manifest_path) {
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardInfo& s = manifest.shards[i];
+    const std::string path = ResolveShardPath(manifest_path, s);
+    {
+      std::ifstream probe(path, std::ios::binary);
+      if (!probe) {
+        return Status::IoError(
+            StrFormat("missing shard file %s (shard %zu): %s", path.c_str(),
+                      i, std::strerror(errno)));
+      }
+    }
+    KSYM_ASSIGN_OR_RETURN(const CsrFileInfo info,
+                          ReadCsrFileInfo(path, /*allow_odd_entries=*/true));
+    if (info.num_vertices != s.NumVertices()) {
+      return Status::IoError(StrFormat(
+          "shard count mismatch: %s holds %llu vertices but the manifest "
+          "row says %zu",
+          path.c_str(), static_cast<unsigned long long>(info.num_vertices),
+          s.NumVertices()));
+    }
+    if (info.num_neighbor_entries != s.neighbor_entries) {
+      return Status::IoError(StrFormat(
+          "shard count mismatch: %s holds %llu neighbor entries but the "
+          "manifest row says %llu",
+          path.c_str(),
+          static_cast<unsigned long long>(info.num_neighbor_entries),
+          static_cast<unsigned long long>(s.neighbor_entries)));
+    }
+    if (info.header_checksum != s.header_checksum) {
+      return Status::IoError(StrFormat(
+          "shard checksum mismatch: %s has header checksum %016llx, "
+          "manifest expects %016llx",
+          path.c_str(),
+          static_cast<unsigned long long>(info.header_checksum),
+          static_cast<unsigned long long>(s.header_checksum)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ksym

@@ -1,0 +1,65 @@
+// Splitting a Graph into vertex-range .ksymcsr shards, and merging them
+// back (DESIGN.md §10).
+//
+// A split is lossless by construction: shard i holds the offsets slice
+// [begin, end] rebased to 0, the matching slice of the global neighbors
+// array with ids kept global, and the labels slice — so concatenating the
+// shards in range order and re-adding the cumulative entry bases yields the
+// original arrays exactly, and `split → merge → WriteCsrFile` reproduces
+// the original .ksymcsr byte for byte (CI enforces this).
+
+#ifndef KSYM_SHARD_PARTITIONER_H_
+#define KSYM_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "shard/manifest.h"
+
+namespace ksym {
+
+struct PartitionOptions {
+  /// Split into this many balanced vertex ranges (ceil(n / num_shards)
+  /// vertices each, the same chunking ParallelFor uses; trailing ranges
+  /// that would be empty are dropped). Exactly one of num_shards /
+  /// max_entries must be nonzero.
+  uint32_t num_shards = 0;
+
+  /// Or: greedy ranges each holding at most this many neighbor entries —
+  /// the edge-budget mode for degree-skewed graphs. A range always takes
+  /// at least one vertex, so a single hub beyond the budget still fits
+  /// (in a shard of its own) rather than failing the split.
+  uint64_t max_entries = 0;
+};
+
+class Partitioner {
+ public:
+  /// Plans the contiguous vertex ranges a split would produce, without
+  /// writing anything. Every range is non-empty; ranges cover [0, n) in
+  /// order. Fails on an empty graph or contradictory options.
+  static Result<std::vector<std::pair<VertexId, VertexId>>> Plan(
+      const Graph& graph, const PartitionOptions& options);
+
+  /// Splits `graph` into shard files `<prefix>.<i>.ksymcsr` plus the
+  /// manifest `<prefix>.manifest`, and returns the manifest. `labels` must
+  /// be empty (identity labeling) or size n; shard i carries its slice.
+  static Result<ShardManifest> Split(const Graph& graph,
+                                     std::span<const uint64_t> labels,
+                                     const PartitionOptions& options,
+                                     const std::string& prefix);
+};
+
+/// Reassembles the whole graph (and labels) from a manifest, validating the
+/// manifest ladder, every shard's checksums, and the slice structure on the
+/// way. The result is bit-identical to the graph that was split.
+Result<LoadedGraph> MergeShards(const std::string& manifest_path);
+
+}  // namespace ksym
+
+#endif  // KSYM_SHARD_PARTITIONER_H_

@@ -258,24 +258,38 @@ TEST(CsrIoTest, AnonymizationByteIdenticalAcrossLoadPaths) {
   EXPECT_EQ(mem_out.str(), map_out.str());
 }
 
-TEST(CsrIoTest, BorrowedGraphCopySharesMapping) {
+TEST(CsrIoTest, BorrowedGraphCopyIsOwningDeepCopy) {
   const WrittenGraph written = MakeWrittenGraph();
   const std::string path = TempPath("csr_borrow.ksymcsr");
   WriteFileBytes(path, written.bytes);
   auto mapped = MapCsrFile(path);
   ASSERT_TRUE(mapped.ok());
 
-  const Graph copy = mapped->graph;  // Copies the spans, not the arrays.
-  EXPECT_FALSE(copy.OwnsStorage());
-  EXPECT_EQ(copy.MemoryBytes(), 0u);
+  // Copying a borrowed graph materializes an owning deep copy: the copy's
+  // arrays are its own, not aliases of the mapping.
+  Graph copy = mapped->graph;
+  EXPECT_TRUE(copy.OwnsStorage());
+  EXPECT_GT(copy.MemoryBytes(), 0u);
   EXPECT_TRUE(copy == written.graph);
-  EXPECT_EQ(copy.RawNeighbors().data(), mapped->graph.RawNeighbors().data());
+  EXPECT_NE(copy.RawNeighbors().data(), mapped->graph.RawNeighbors().data());
+  EXPECT_NE(copy.RawOffsets().data(), mapped->graph.RawOffsets().data());
 
-  // Moving the whole MappedCsrGraph keeps the borrowed views valid: the
-  // mapped address is stable across CsrMapping moves.
+  // Copy-assignment takes the same path.
+  Graph assigned;
+  assigned = mapped->graph;
+  EXPECT_TRUE(assigned.OwnsStorage());
+  EXPECT_TRUE(assigned == written.graph);
+
+  // Moving a borrowed graph still transfers the borrowed views (zero-copy
+  // loads stay zero-copy through MappedCsrGraph moves).
   MappedCsrGraph moved = std::move(*mapped);
+  EXPECT_FALSE(moved.graph.OwnsStorage());
   EXPECT_TRUE(moved.graph == written.graph);
-  EXPECT_TRUE(copy == moved.graph);
+
+  // The deep copy survives the mapping itself going away.
+  { MappedCsrGraph dropped = std::move(moved); }
+  EXPECT_TRUE(copy == written.graph);
+  EXPECT_EQ(copy.Degree(0), written.graph.Degree(0));
 }
 
 TEST(CsrIoTest, ReadGraphAutoDetectsByMagic) {

@@ -207,6 +207,40 @@ TEST(GraphTest, FromCsrAdoptsArrays) {
   EXPECT_TRUE(g == b.Build());
 }
 
+TEST(GraphTest, BorrowedGraphCopyIsOwningDeepCopy) {
+  // Path 0-1-2 over caller-owned arrays.
+  const std::vector<EdgeIndex> offsets = {0, 1, 3, 4};
+  const std::vector<VertexId> neighbors = {1, 0, 2, 1};
+  Graph borrowed = Graph::FromBorrowedCsr(offsets, neighbors);
+  EXPECT_FALSE(borrowed.OwnsStorage());
+  EXPECT_EQ(borrowed.RawNeighbors().data(), neighbors.data());
+
+  // Copying materializes owning, independent arrays.
+  const Graph copy = borrowed;
+  EXPECT_TRUE(copy.OwnsStorage());
+  EXPECT_NE(copy.RawOffsets().data(), offsets.data());
+  EXPECT_NE(copy.RawNeighbors().data(), neighbors.data());
+  EXPECT_TRUE(copy == borrowed);
+  ExpectGraphInvariants(copy);
+
+  // Copy-assignment onto an existing graph takes the same path.
+  Graph assigned(7);
+  assigned = borrowed;
+  EXPECT_TRUE(assigned.OwnsStorage());
+  EXPECT_TRUE(assigned == borrowed);
+
+  // Moving keeps the borrowed view (no hidden deep copy on move).
+  const Graph moved = std::move(borrowed);
+  EXPECT_FALSE(moved.OwnsStorage());
+  EXPECT_EQ(moved.RawNeighbors().data(), neighbors.data());
+
+  // Copies of an owning graph still deep-copy.
+  const Graph copy2 = copy;
+  EXPECT_TRUE(copy2.OwnsStorage());
+  EXPECT_NE(copy2.RawNeighbors().data(), copy.RawNeighbors().data());
+  EXPECT_TRUE(copy2 == copy);
+}
+
 TEST(GraphTest, MemoryBytesTracksSize) {
   EXPECT_GT(Graph(1).MemoryBytes(), 0u);  // Offsets alone take space.
   GraphBuilder b(100);

@@ -32,6 +32,31 @@ void Usage() {
                "format (default: the opposite of the input's)\n");
 }
 
+// Info-style dump of a .ksymcsr header — counts and every stored checksum —
+// so converted files are inspectable straight from the conversion log
+// (ksym_shard prints the same shape per shard).
+bool PrintCsrInfo(const std::string& path) {
+  const auto info = ksym::ReadCsrFileInfo(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
+    return false;
+  }
+  std::fprintf(
+      stderr, "csr header %s: %llu vertices, %llu edges (%llu entries)\n",
+      path.c_str(), static_cast<unsigned long long>(info->num_vertices),
+      static_cast<unsigned long long>(info->num_neighbor_entries / 2),
+      static_cast<unsigned long long>(info->num_neighbor_entries));
+  std::fprintf(
+      stderr,
+      "csr checksums %s: offsets=%016llx neighbors=%016llx labels=%016llx "
+      "header=%016llx\n",
+      path.c_str(), static_cast<unsigned long long>(info->offsets_checksum),
+      static_cast<unsigned long long>(info->neighbors_checksum),
+      static_cast<unsigned long long>(info->labels_checksum),
+      static_cast<unsigned long long>(info->header_checksum));
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,5 +119,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "wrote %s (%s) in %.1f ms\n", output.c_str(),
                format.c_str(), timer.ElapsedMillis());
+  // Header info for whichever side is binary (output wins when both are):
+  // the counts and per-section checksums a reader needs to verify the file.
+  if (format == "csr") {
+    if (!PrintCsrInfo(output)) return 1;
+  } else if (loaded->binary) {
+    if (!PrintCsrInfo(input)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,200 @@
+// ksym_shard — shard-set management for out-of-core graphs (DESIGN.md §10).
+//
+//   ksym_shard split  --input G --output-prefix P (--shards N | --max-entries M)
+//                     [--no-validate]
+//   ksym_shard info   --manifest P.manifest
+//   ksym_shard verify --manifest P.manifest
+//   ksym_shard merge  --manifest P.manifest --output OUT.ksymcsr
+//
+// `split` cuts a graph (text or .ksymcsr, detected by magic) into balanced
+// vertex-range shard files `P.<i>.ksymcsr` plus the checksummed manifest
+// `P.manifest`. `verify` runs the full validation ladder: manifest magic /
+// syntax / body checksum / range coverage, then every shard file's header,
+// counts, checksums, and slice structure. `merge` reassembles the original
+// graph; splitting a .ksymcsr and merging it back reproduces the input byte
+// for byte (CI round-trips this). `info` prints the manifest without
+// touching shard data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timer.h"
+#include "graph/io.h"
+#include "shard/manifest.h"
+#include "shard/partitioner.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ksym_shard split  --input G --output-prefix P\n"
+      "                         (--shards N | --max-entries M) [--no-validate]\n"
+      "       ksym_shard info   --manifest M\n"
+      "       ksym_shard verify --manifest M\n"
+      "       ksym_shard merge  --manifest M --output OUT\n");
+}
+
+int Fail(const ksym::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintManifest(const ksym::ShardManifest& manifest) {
+  std::fprintf(stderr, "manifest: %llu vertices, %zu edges (%llu entries), %zu shards\n",
+               static_cast<unsigned long long>(manifest.num_vertices),
+               manifest.NumEdges(),
+               static_cast<unsigned long long>(manifest.num_neighbor_entries),
+               manifest.NumShards());
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    const ksym::ShardInfo& s = manifest.shards[i];
+    std::fprintf(stderr,
+                 "shard %zu: [%u, %u) %zu vertices, %llu entries, "
+                 "header=%016llx, file=%s\n",
+                 i, s.begin, s.end, s.NumVertices(),
+                 static_cast<unsigned long long>(s.neighbor_entries),
+                 static_cast<unsigned long long>(s.header_checksum),
+                 s.file.c_str());
+  }
+}
+
+int RunSplit(const std::string& input, const std::string& prefix,
+             const ksym::PartitionOptions& options, bool validate) {
+  ksym::CsrReadOptions read_options;
+  read_options.validate = validate;
+  ksym::Timer timer;
+  const auto loaded = ksym::ReadGraphAuto(input, read_options);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::fprintf(stderr, "loaded %s: %zu vertices, %zu edges in %.1f ms\n",
+               input.c_str(), loaded->graph.NumVertices(),
+               loaded->graph.NumEdges(), timer.ElapsedMillis());
+  timer.Reset();
+  const auto manifest =
+      ksym::Partitioner::Split(loaded->graph, loaded->labels, options, prefix);
+  if (!manifest.ok()) return Fail(manifest.status());
+  std::fprintf(stderr, "wrote %s.manifest in %.1f ms\n", prefix.c_str(),
+               timer.ElapsedMillis());
+  PrintManifest(*manifest);
+  return 0;
+}
+
+int RunInfo(const std::string& manifest_path) {
+  const auto manifest = ksym::ShardManifest::ReadFile(manifest_path);
+  if (!manifest.ok()) return Fail(manifest.status());
+  PrintManifest(*manifest);
+  return 0;
+}
+
+int RunVerify(const std::string& manifest_path) {
+  // Ladder: manifest magic/syntax/checksum/ranges (ReadFile), then each
+  // shard's header vs. its manifest row (VerifyShardFiles), then each
+  // shard's full section checksums + slice structure (MapCsrSections).
+  const auto manifest = ksym::ShardManifest::ReadFile(manifest_path);
+  if (!manifest.ok()) return Fail(manifest.status());
+  const ksym::Status headers =
+      ksym::VerifyShardFiles(*manifest, manifest_path);
+  if (!headers.ok()) return Fail(headers);
+  for (const ksym::ShardInfo& s : manifest->shards) {
+    ksym::CsrReadOptions options;
+    options.shard_global_vertices = manifest->num_vertices;
+    options.shard_base = s.begin;
+    const auto sections = ksym::MapCsrSections(
+        ksym::ResolveShardPath(manifest_path, s), options);
+    if (!sections.ok()) return Fail(sections.status());
+  }
+  std::fprintf(stderr, "OK: %zu shards, %llu vertices, %zu edges verified\n",
+               manifest->NumShards(),
+               static_cast<unsigned long long>(manifest->num_vertices),
+               manifest->NumEdges());
+  return 0;
+}
+
+int RunMerge(const std::string& manifest_path, const std::string& output) {
+  ksym::Timer timer;
+  const auto merged = ksym::MergeShards(manifest_path);
+  if (!merged.ok()) return Fail(merged.status());
+  const ksym::Status status = ksym::WriteCsrFile(*merged, output);
+  if (!status.ok()) return Fail(status);
+  std::fprintf(stderr, "merged %zu vertices, %zu edges into %s in %.1f ms\n",
+               merged->graph.NumVertices(), merged->graph.NumEdges(),
+               output.c_str(), timer.ElapsedMillis());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::string input;
+  std::string output;
+  std::string prefix;
+  std::string manifest;
+  ksym::PartitionOptions options;
+  bool validate = true;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      input = next();
+    } else if (arg == "--output") {
+      output = next();
+    } else if (arg == "--output-prefix") {
+      prefix = next();
+    } else if (arg == "--manifest") {
+      manifest = next();
+    } else if (arg == "--shards") {
+      options.num_shards = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--max-entries") {
+      options.max_entries = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--no-validate") {
+      validate = false;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  if (command == "split") {
+    if (input.empty() || prefix.empty()) {
+      Usage();
+      return 2;
+    }
+    return RunSplit(input, prefix, options, validate);
+  }
+  if (command == "info") {
+    if (manifest.empty()) {
+      Usage();
+      return 2;
+    }
+    return RunInfo(manifest);
+  }
+  if (command == "verify") {
+    if (manifest.empty()) {
+      Usage();
+      return 2;
+    }
+    return RunVerify(manifest);
+  }
+  if (command == "merge") {
+    if (manifest.empty() || output.empty()) {
+      Usage();
+      return 2;
+    }
+    return RunMerge(manifest, output);
+  }
+  Usage();
+  return 2;
+}
