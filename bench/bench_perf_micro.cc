@@ -6,7 +6,7 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr5.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr6.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
 // as counters, so the bench trajectory tracks space as well as time; the
 // thread-scaling sweeps record how sharded refinement
@@ -30,6 +30,7 @@
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -47,7 +48,9 @@
 #include "graph/io.h"
 #include "ksym/anonymizer.h"
 #include "ksym/backbone.h"
+#include "ksym/release_io.h"
 #include "ksym/sampling.h"
+#include "ksym/sharded_anonymizer.h"
 #include "shard/kernels.h"
 #include "shard/partitioner.h"
 #include "shard/sharded_graph.h"
@@ -645,6 +648,51 @@ void BM_ShardedPathLengthsInMemoryBaseline(benchmark::State& state) {
 BENCHMARK(BM_ShardedPathLengthsInMemoryBaseline)
     ->Unit(benchmark::kMillisecond);
 
+// --- PR 6 out-of-core anonymization sweep: the full manifest-in →
+// anonymized-shard-set-out pipeline (streaming degrees, sharded TDV
+// refinement, delta-based orbit copy, streamed release emission) on the
+// 200k-vertex 8-shard set, at LRU budgets of 1/2/4 resident shards,
+// against the in-memory Anonymize + WriteReleaseCsrFile baseline. Every
+// row produces byte-identical releases — only loads/evictions move.
+
+void BM_ShardedAnonymize(benchmark::State& state) {
+  ShardedGraph sharded = OpenBenchShards(state.range(0));
+  const std::string out_prefix =
+      std::filesystem::temp_directory_path().string() + "/ksym_bench_sa_out";
+  ShardedAnonymizationOptions options;
+  options.k = 3;
+  for (auto _ : state) {
+    auto result = AnonymizeSharded(sharded, options, out_prefix);
+    KSYM_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sharded.NumVertices()));
+  AttachResidencyCounters(state, sharded);
+}
+BENCHMARK(BM_ShardedAnonymize)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedAnonymizeInMemoryBaseline(benchmark::State& state) {
+  const Graph& graph = BigRefineGraph();
+  const std::string out_path =
+      std::filesystem::temp_directory_path().string() + "/ksym_bench_sa_ref";
+  AnonymizationOptions options;
+  options.k = 3;
+  options.use_total_degree_partition = true;
+  for (auto _ : state) {
+    auto result = Anonymize(graph, options);
+    KSYM_CHECK(result.ok());
+    KSYM_CHECK(WriteReleaseCsrFile(MakeReleaseTriple(*result), out_path).ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.NumVertices()));
+  AttachMemoryCounters(state, graph);
+}
+BENCHMARK(BM_ShardedAnonymizeInMemoryBaseline)->Unit(benchmark::kMillisecond);
+
 // --- PR 3 thread-scaling sweeps: the parallel evaluation engine. Each
 // sweep's Arg(1) row is the sequential baseline (no pool is created), so
 // speedup = row1 / rowN; every row computes bit-identical results.
@@ -741,7 +789,7 @@ BENCHMARK(BM_NeighborhoodMeasureThreads)
 }  // namespace
 }  // namespace ksym
 
-// Custom main: defaults JSON output to BENCH_pr5.json so every run leaves a
+// Custom main: defaults JSON output to BENCH_pr6.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -749,7 +797,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr5.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr6.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);
@@ -762,9 +810,15 @@ int main(int argc, char** argv) {
   }
   // Whether the thread sweeps ran on real cores: on a single-core container
   // the 2/4/8-thread rows measure scheduling overhead, not scaling.
-  benchmark::AddCustomContext(
-      "hardware_concurrency",
-      std::to_string(std::thread::hardware_concurrency()));
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency=%u — thread-sweep rows above "
+                 "1 thread measure scheduling overhead, NOT scaling; do not "
+                 "compare them across machines\n",
+                 hw);
+  }
+  benchmark::AddCustomContext("hardware_concurrency", std::to_string(hw));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

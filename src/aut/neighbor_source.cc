@@ -1,0 +1,38 @@
+#include "aut/neighbor_source.h"
+
+#include <atomic>
+
+namespace ksym {
+
+void CsrNeighborSource::CountSplitter(std::span<const VertexId> splitter,
+                                      std::span<uint32_t> count,
+                                      std::vector<VertexId>& touched) {
+  for (VertexId u : splitter) {
+    for (VertexId v : graph_.Neighbors(u)) {
+      if (count[v]++ == 0) touched.push_back(v);
+    }
+  }
+}
+
+void CsrNeighborSource::CountSplitterParallel(
+    ThreadPool* pool, std::span<const VertexId> splitter,
+    std::span<uint32_t> count, std::span<std::vector<VertexId>> touched) {
+  // Concurrent increments of count[v] use atomic_ref; the worker that lifts
+  // v's count off zero records it as touched (exactly one does, so the
+  // union of the touched lists has no duplicates).
+  ParallelFor(pool, splitter.size(),
+              [this, splitter, count, touched](size_t begin, size_t end,
+                                               uint32_t shard) {
+                std::vector<VertexId>& mine = touched[shard];
+                for (size_t i = begin; i < end; ++i) {
+                  for (VertexId v : graph_.Neighbors(splitter[i])) {
+                    std::atomic_ref<uint32_t> c(count[v]);
+                    if (c.fetch_add(1, std::memory_order_relaxed) == 0) {
+                      mine.push_back(v);
+                    }
+                  }
+                }
+              });
+}
+
+}  // namespace ksym

@@ -85,10 +85,17 @@ VertexPartition ComputeAutomorphismPartition(
 }
 
 VertexPartition ComputeTotalDegreePartition(const Graph& graph,
-                                            const ExecutionContext* context) {
+                                            const ExecutionContext* context,
+                                            uint64_t* trace_hash) {
   return VertexPartition::FromCells(
       graph.NumVertices(),
-      EquitablePartition(graph, RefinementOptions{.context = context}));
+      EquitablePartition(graph, RefinementOptions{.context = context,
+                                                  .trace_hash = trace_hash}));
+}
+
+VertexPartition ComputeTotalDegreePartition(const Graph& graph,
+                                            const ExecutionContext* context) {
+  return ComputeTotalDegreePartition(graph, context, nullptr);
 }
 
 VertexPartition ComputeTotalDegreePartition(const Graph& graph) {

@@ -61,6 +61,11 @@ VertexPartition ComputeAutomorphismPartition(
 /// TDV(G): the coarsest equitable partition (iterated degree refinement),
 /// on `context`'s execution policy. Every cell is a union of orbits, so it
 /// is a *conservative upper approximation*: cell sizes >= orbit sizes.
+/// If `trace_hash` is non-null it receives the refinement trace hash — the
+/// digest the sharded pipeline compares against the in-memory run.
+VertexPartition ComputeTotalDegreePartition(const Graph& graph,
+                                            const ExecutionContext* context,
+                                            uint64_t* trace_hash);
 VertexPartition ComputeTotalDegreePartition(const Graph& graph,
                                             const ExecutionContext* context);
 

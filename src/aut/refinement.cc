@@ -1,7 +1,6 @@
 #include "aut/refinement.h"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
 
 namespace ksym {
@@ -145,10 +144,24 @@ void OrderedPartition::RevertTo(size_t mark) {
 Refiner::Refiner(const Graph& graph) : Refiner(graph, nullptr) {}
 
 Refiner::Refiner(const Graph& graph, const ExecutionContext* context)
-    : graph_(graph), context_(context), count_(graph.NumVertices(), 0) {
-  touched_.reserve(graph.NumVertices());
+    : source_(nullptr),
+      owned_source_(std::make_unique<CsrNeighborSource>(graph)),
+      context_(context),
+      count_(graph.NumVertices(), 0) {
+  source_ = owned_source_.get();
+  touched_.reserve(count_.size());
   if (context_ != nullptr && !context_->IsSequential()) {
     shards_.resize(context_->threads());
+    touched_shards_.resize(context_->threads());
+  }
+}
+
+Refiner::Refiner(NeighborSource& source, const ExecutionContext* context)
+    : source_(&source), context_(context), count_(source.NumVertices(), 0) {
+  touched_.reserve(count_.size());
+  if (context_ != nullptr && !context_->IsSequential()) {
+    shards_.resize(context_->threads());
+    touched_shards_.resize(context_->threads());
   }
 }
 
@@ -214,12 +227,9 @@ void Refiner::ProcessSplitterSequential(OrderedPartition& p, uint32_t w_start,
   std::vector<VertexId>& reordered = reordered_;
   std::vector<uint32_t>& group_sizes = group_sizes_;
 
-  // Count neighbours in the splitter.
-  for (VertexId u : splitter_) {
-    for (VertexId v : graph_.Neighbors(u)) {
-      if (count_[v]++ == 0) touched_.push_back(v);
-    }
-  }
+  // Count neighbours in the splitter (the only edge access in refinement,
+  // delegated to the source seam — one virtual call per splitter).
+  source_->CountSplitter(splitter_, count_, touched_);
 
   // Affected cells, in invariant (ascending start) order.
   affected.clear();
@@ -296,36 +306,22 @@ void Refiner::ProcessSplitterSharded(OrderedPartition& p, uint32_t w_start,
                                      ThreadPool* pool, uint64_t& hash) {
   RefinementStats& stats = context_->stats();
 
-  // Phase 1: count neighbours in the splitter. Sharded over the splitter's
-  // members; concurrent increments of count_[v] use atomic_ref, and the
-  // shard that lifts v's count off zero records it as touched (exactly one
-  // shard does, so the union of the touched lists has no duplicates).
+  // Phase 1: count neighbours in the splitter, via the source seam. Above
+  // the grain the source shards over the pool (relaxed atomic increments;
+  // the worker that lifts v's count off zero records it in its own touched
+  // list, so the union of the lists has no duplicates); below it, the
+  // sequential pass runs into slot 0.
   const bool shard_count = splitter_.size() >= context_->splitter_grain;
   if (shard_count) {
-    ParallelFor(pool, splitter_.size(),
-                [this](size_t begin, size_t end, uint32_t shard) {
-                  std::vector<VertexId>& touched = shards_[shard].touched;
-                  for (size_t i = begin; i < end; ++i) {
-                    for (VertexId v : graph_.Neighbors(splitter_[i])) {
-                      std::atomic_ref<uint32_t> count(count_[v]);
-                      if (count.fetch_add(1, std::memory_order_relaxed) == 0) {
-                        touched.push_back(v);
-                      }
-                    }
-                  }
-                });
+    source_->CountSplitterParallel(pool, splitter_, count_, touched_shards_);
   } else {
-    for (VertexId u : splitter_) {
-      for (VertexId v : graph_.Neighbors(u)) {
-        if (count_[v]++ == 0) shards_[0].touched.push_back(v);
-      }
-    }
+    source_->CountSplitter(splitter_, count_, touched_shards_[0]);
   }
 
   // Phase 2: affected cells, in invariant (ascending start) order.
   affected_.clear();
-  for (const ShardScratch& shard : shards_) {
-    for (VertexId v : shard.touched) affected_.push_back(p.CellStartOf(v));
+  for (const std::vector<VertexId>& touched : touched_shards_) {
+    for (VertexId v : touched) affected_.push_back(p.CellStartOf(v));
   }
   std::sort(affected_.begin(), affected_.end());
   affected_.erase(std::unique(affected_.begin(), affected_.end()),
@@ -401,17 +397,24 @@ void Refiner::ProcessSplitterSharded(OrderedPartition& p, uint32_t w_start,
   }
 
   // Phase 5: reset counts.
-  for (ShardScratch& shard : shards_) {
-    for (VertexId v : shard.touched) count_[v] = 0;
-    shard.touched.clear();
+  for (std::vector<VertexId>& touched : touched_shards_) {
+    for (VertexId v : touched) count_[v] = 0;
+    touched.clear();
   }
 }
 
 std::vector<std::vector<VertexId>> EquitablePartition(
     const Graph& graph, const RefinementOptions& options) {
-  OrderedPartition partition(graph.NumVertices(), options.colors);
-  Refiner refiner(graph, options.context);
-  refiner.RefineAll(partition);
+  CsrNeighborSource source(graph);
+  return EquitablePartition(source, options);
+}
+
+std::vector<std::vector<VertexId>> EquitablePartition(
+    NeighborSource& source, const RefinementOptions& options) {
+  OrderedPartition partition(source.NumVertices(), options.colors);
+  Refiner refiner(source, options.context);
+  const uint64_t trace = refiner.RefineAll(partition);
+  if (options.trace_hash != nullptr) *options.trace_hash = trace;
   return partition.Cells();
 }
 

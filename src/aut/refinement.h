@@ -17,10 +17,12 @@
 #define KSYM_AUT_REFINEMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "aut/neighbor_source.h"
 #include "common/parallel.h"
 #include "graph/graph.h"
 #include "perm/permutation.h"
@@ -103,6 +105,10 @@ struct RefinementOptions {
   std::vector<uint32_t> colors = {};
   /// Execution policy (threads, grains, stats sink). nullptr = sequential.
   const ExecutionContext* context = nullptr;
+  /// If non-null, receives the refinement trace hash — the
+  /// isomorphism-invariant digest RefineAll returns, bit-identical across
+  /// thread counts and across the in-memory / sharded neighbor sources.
+  uint64_t* trace_hash = nullptr;
 };
 
 /// Stateful refiner holding scratch buffers keyed to one graph.
@@ -112,10 +118,18 @@ struct RefinementOptions {
 /// merge stays sequential in affected-cell order, so the resulting
 /// partition *and* the trace hash are bit-identical to the sequential path
 /// (see DESIGN.md §7, "Parallel refinement").
+///
+/// The Graph constructors bind the refiner to an in-memory CSR source; the
+/// NeighborSource constructor accepts any implementation of the counting
+/// seam (e.g. ShardedNeighborSource for out-of-core shard sets) — the
+/// split-plan build/merge and the trace hash are source-agnostic
+/// (DESIGN.md §11).
 class Refiner {
  public:
   explicit Refiner(const Graph& graph);
   Refiner(const Graph& graph, const ExecutionContext* context);
+  /// Binds to a caller-owned source, which must outlive the refiner.
+  Refiner(NeighborSource& source, const ExecutionContext* context);
 
   /// Refines `p` to the coarsest equitable partition finer than it, seeding
   /// the splitter worklist with every current cell. Returns an
@@ -138,7 +152,6 @@ class Refiner {
 
   /// Thread-local scratch; shards_[s] is written only by shard s.
   struct ShardScratch {
-    std::vector<VertexId> touched;
     std::vector<std::pair<uint32_t, VertexId>> keyed;
     std::vector<SplitPlan> plans;
   };
@@ -153,7 +166,8 @@ class Refiner {
   void ProcessSplitterSharded(OrderedPartition& p, uint32_t w_start,
                               ThreadPool* pool, uint64_t& hash);
 
-  const Graph& graph_;
+  NeighborSource* source_;  // The counting seam; never null.
+  std::unique_ptr<NeighborSource> owned_source_;  // Set by the Graph ctors.
   const ExecutionContext* context_;  // May be null (sequential).
   std::vector<uint32_t> count_;      // Scratch: neighbour counts.
   std::vector<VertexId> touched_;    // Scratch: vertices with count > 0.
@@ -165,6 +179,9 @@ class Refiner {
   std::vector<VertexId> reordered_;
   std::vector<uint32_t> group_sizes_;
   std::vector<ShardScratch> shards_;  // Sized to the context's thread count.
+  // Per-worker touched lists for the sharded counting pass (worker w writes
+  // only touched_shards_[w]; the sequential fallback uses slot 0).
+  std::vector<std::vector<VertexId>> touched_shards_;
 };
 
 /// The stable (coarsest equitable) partition refining options.colors — the
@@ -172,6 +189,12 @@ class Refiner {
 /// order. Runs on options.context's policy (sequential when null).
 std::vector<std::vector<VertexId>> EquitablePartition(
     const Graph& graph, const RefinementOptions& options);
+
+/// As above over any neighbor source — the entry point the out-of-core
+/// pipeline uses (shard/refine.h wraps a ShardedGraph into a source and
+/// calls this). Identical cells and trace hash to the Graph overload.
+std::vector<std::vector<VertexId>> EquitablePartition(
+    NeighborSource& source, const RefinementOptions& options);
 
 /// Deprecated: thin wrapper over the RefinementOptions overload, kept so
 /// pre-ExecutionContext callers compile. Prefer

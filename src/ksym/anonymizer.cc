@@ -21,17 +21,23 @@ SymmetryRequirement HubExclusionRequirement(uint32_t k,
 
 size_t DegreeThresholdForExcludedFraction(const Graph& graph,
                                           double fraction) {
-  if (fraction <= 0.0 || graph.NumVertices() == 0) {
+  return DegreeThresholdForExcludedFraction(
+      std::span<const size_t>(graph.Degrees()), fraction);
+}
+
+size_t DegreeThresholdForExcludedFraction(std::span<const size_t> degrees,
+                                          double fraction) {
+  if (fraction <= 0.0 || degrees.empty()) {
     return std::numeric_limits<size_t>::max();
   }
-  std::vector<size_t> degrees = graph.Degrees();
-  std::sort(degrees.begin(), degrees.end(), std::greater<>());
-  size_t num_excluded = static_cast<size_t>(
-      fraction * static_cast<double>(graph.NumVertices()));
-  num_excluded = std::min(num_excluded, degrees.size());
+  std::vector<size_t> sorted(degrees.begin(), degrees.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  size_t num_excluded =
+      static_cast<size_t>(fraction * static_cast<double>(degrees.size()));
+  num_excluded = std::min(num_excluded, sorted.size());
   if (num_excluded == 0) return std::numeric_limits<size_t>::max();
   // Exclude exactly the vertices with degree strictly above the cutoff.
-  return degrees[num_excluded - 1] == 0 ? 0 : degrees[num_excluded - 1] - 1;
+  return sorted[num_excluded - 1] == 0 ? 0 : sorted[num_excluded - 1] - 1;
 }
 
 Result<AnonymizationResult> Anonymize(const Graph& graph,
@@ -43,14 +49,18 @@ Result<AnonymizationResult> Anonymize(const Graph& graph,
   if (resolved.context == nullptr) resolved.context = &local_context;
 
   VertexPartition initial;
+  uint64_t trace = 0;
   {
     ScopedPhaseTimer timer(resolved.context,
                            &RefinementStats::partition_seconds);
     initial = options.use_total_degree_partition
-                  ? ComputeTotalDegreePartition(graph, resolved.context)
+                  ? ComputeTotalDegreePartition(graph, resolved.context, &trace)
                   : ComputeAutomorphismPartition(graph, {}, resolved.context);
   }
-  return AnonymizeWithPartition(graph, initial, resolved);
+  Result<AnonymizationResult> result =
+      AnonymizeWithPartition(graph, initial, resolved);
+  if (result.ok()) result->refinement_trace = trace;
+  return result;
 }
 
 Result<AnonymizationResult> AnonymizeWithPartition(

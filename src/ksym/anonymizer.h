@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "aut/orbits.h"
@@ -40,6 +41,11 @@ SymmetryRequirement HubExclusionRequirement(uint32_t k,
 /// (approximately) the top `fraction` of vertices by descending degree.
 /// fraction = 0 excludes nothing (returns SIZE_MAX).
 size_t DegreeThresholdForExcludedFraction(const Graph& graph, double fraction);
+
+/// Same computation from a bare degree array — the out-of-core pipeline has
+/// the degrees (one streaming pass) but never the resident Graph.
+size_t DegreeThresholdForExcludedFraction(std::span<const size_t> degrees,
+                                          double fraction);
 
 struct AnonymizationOptions {
   uint32_t k = 2;
@@ -76,6 +82,11 @@ struct AnonymizationResult {
   /// context's timers (refine calls, cells split, wall time per phase) so
   /// callers stop re-deriving cost from scratch.
   RefinementStats refinement;
+
+  /// Trace hash of the initial-partition refinement when the TDV path ran
+  /// (0 for the exact-orbit path, whose search performs many refines). The
+  /// sharded pipeline must reproduce this bit-exactly.
+  uint64_t refinement_trace = 0;
 };
 
 /// Anonymizes `graph` to satisfy the requirement (k-symmetry by default).

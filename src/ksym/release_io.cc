@@ -1,11 +1,13 @@
 #include "ksym/release_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <vector>
 
 #include "common/str.h"
+#include "graph/io.h"
 
 namespace ksym {
 
@@ -142,6 +144,78 @@ Result<ReleaseTriple> ReadReleaseFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   return ReadRelease(in);
+}
+
+std::vector<uint64_t> ReleaseCsrLabels(const VertexPartition& partition,
+                                       size_t original_vertices) {
+  std::vector<uint64_t> labels(partition.cell_of.size());
+  for (size_t v = 0; v < labels.size(); ++v) {
+    labels[v] = (uint64_t{partition.cell_of[v]} << 1) |
+                (v >= original_vertices ? 1u : 0u);
+  }
+  return labels;
+}
+
+Status WriteReleaseCsrFile(const ReleaseTriple& release,
+                           const std::string& path) {
+  return WriteCsrFile(
+      release.graph,
+      ReleaseCsrLabels(release.partition, release.original_vertices), path);
+}
+
+Result<ReleaseTriple> ReadReleaseCsrFile(const std::string& path) {
+  KSYM_ASSIGN_OR_RETURN(LoadedGraph loaded, ReadCsrFile(path));
+  const size_t n = loaded.graph.NumVertices();
+  ReleaseTriple release;
+
+  // Originals are the unflagged prefix; the flag must be monotone.
+  size_t originals = n;
+  for (size_t v = 0; v < n; ++v) {
+    if (loaded.labels[v] & 1) {
+      originals = v;
+      break;
+    }
+  }
+  size_t num_cells = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if ((loaded.labels[v] & 1) != (v >= originals ? 1u : 0u)) {
+      return Status::IoError(StrFormat(
+          "%s: not a release: copy flags are not a contiguous suffix",
+          path.c_str()));
+    }
+    const uint64_t cell = loaded.labels[v] >> 1;
+    if (cell >= n) {
+      return Status::IoError(StrFormat(
+          "%s: not a release: vertex %zu has cell id %llu out of range",
+          path.c_str(), v, static_cast<unsigned long long>(cell)));
+    }
+    num_cells = std::max(num_cells, static_cast<size_t>(cell) + 1);
+  }
+  std::vector<std::vector<VertexId>> cells(num_cells);
+  for (size_t v = 0; v < n; ++v) {
+    cells[loaded.labels[v] >> 1].push_back(static_cast<VertexId>(v));
+  }
+  for (size_t c = 0; c < cells.size(); ++c) {
+    if (cells[c].empty()) {
+      return Status::IoError(StrFormat("%s: not a release: cell %zu is empty",
+                                       path.c_str(), c));
+    }
+    // Cells must already sit in VertexPartition order (ascending minima):
+    // that is what every writer emits, and it keeps read(write(x)) == x.
+    if (c > 0 && cells[c].front() < cells[c - 1].front()) {
+      return Status::IoError(StrFormat(
+          "%s: not a release: cell ids not in min-element order",
+          path.c_str()));
+    }
+  }
+  release.partition = VertexPartition::FromCells(n, std::move(cells));
+  release.graph = std::move(loaded.graph);
+  release.original_vertices = originals;
+  return release;
+}
+
+Result<ReleaseTriple> ReadReleaseAuto(const std::string& path) {
+  return IsCsrFile(path) ? ReadReleaseCsrFile(path) : ReadReleaseFile(path);
 }
 
 }  // namespace ksym

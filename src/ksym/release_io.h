@@ -44,6 +44,35 @@ Status WriteReleaseFile(const ReleaseTriple& release, const std::string& path);
 Result<ReleaseTriple> ReadRelease(std::istream& in);
 Result<ReleaseTriple> ReadReleaseFile(const std::string& path);
 
+// ---------------------------------------------------------------------------
+// Binary releases (.ksymcsr).
+// ---------------------------------------------------------------------------
+//
+// A release triple also round-trips through the binary CSR format: G' is
+// the graph, and the per-vertex labels encode the remaining two components
+// as label[v] = (cell_of[v] << 1) | is_copy, where is_copy marks vertices
+// beyond the original count. Originals are exactly [0, |V(G)|) (the
+// anonymizer only appends), so |V(G)| is recovered as the first flagged
+// vertex. This is the format the sharded anonymizer emits per shard —
+// `ksym_shard merge` of its output is byte-identical to
+// WriteReleaseCsrFile of the in-memory run.
+
+/// The label array described above; partition.cell_of must cover the
+/// release's vertices, original_vertices of which are originals.
+std::vector<uint64_t> ReleaseCsrLabels(const VertexPartition& partition,
+                                       size_t original_vertices);
+
+Status WriteReleaseCsrFile(const ReleaseTriple& release,
+                           const std::string& path);
+
+/// Loads a binary release, rebuilding the partition and original count from
+/// the label encoding. Rejects label streams that are not a valid encoding
+/// (non-contiguous copy flags, cell ids out of range, non-covering cells).
+Result<ReleaseTriple> ReadReleaseCsrFile(const std::string& path);
+
+/// Auto-detecting release load: .ksymcsr by magic, else the text format.
+Result<ReleaseTriple> ReadReleaseAuto(const std::string& path);
+
 }  // namespace ksym
 
 #endif  // KSYM_KSYM_RELEASE_IO_H_

@@ -242,6 +242,15 @@ Status ShardManifest::WriteFile(const std::string& path) const {
   return Status::Ok();
 }
 
+bool IsManifestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[10] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::string_view(magic, sizeof(magic)) == "KSYMSHARDS";
+}
+
 std::string ResolveShardPath(const std::string& manifest_path,
                              const ShardInfo& shard) {
   if (!shard.file.empty() && shard.file.front() == '/') return shard.file;

@@ -83,6 +83,11 @@ struct ShardManifest {
   Status WriteFile(const std::string& path) const;
 };
 
+/// True iff the file starts with the KSYMSHARDS magic — how the tools
+/// auto-detect a manifest input. Missing/short files are simply "not a
+/// manifest" (the subsequent real open reports them).
+bool IsManifestFile(const std::string& path);
+
 /// Joins a shard's relative file name onto its manifest's directory.
 std::string ResolveShardPath(const std::string& manifest_path,
                              const ShardInfo& shard);

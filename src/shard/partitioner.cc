@@ -20,6 +20,46 @@ std::string Basename(const std::string& path) {
 
 }  // namespace
 
+ShardSetWriter::ShardSetWriter(std::string prefix, uint64_t num_vertices)
+    : prefix_(std::move(prefix)) {
+  manifest_.num_vertices = num_vertices;
+}
+
+Status ShardSetWriter::AppendShard(VertexId begin, VertexId end,
+                                   std::span<const EdgeIndex> local_offsets,
+                                   std::span<const VertexId> neighbors,
+                                   std::span<const uint64_t> labels) {
+  const size_t index = manifest_.shards.size();
+  const std::string file =
+      StrFormat("%s.%zu.ksymcsr", prefix_.c_str(), index);
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open %s for writing: %s",
+                                     file.c_str(), std::strerror(errno)));
+  }
+  KSYM_RETURN_IF_ERROR(WriteCsrSections(local_offsets, neighbors, labels, out));
+  out.close();
+  // Read the header back for the checksum the manifest pins the file to.
+  KSYM_ASSIGN_OR_RETURN(const CsrFileInfo info,
+                        ReadCsrFileInfo(file, /*allow_odd_entries=*/true));
+  ShardInfo s;
+  s.begin = begin;
+  s.end = end;
+  s.neighbor_entries = neighbors.size();
+  s.header_checksum = info.header_checksum;
+  // Stored relative to the manifest's directory so the set moves as one.
+  s.file = Basename(file);
+  manifest_.shards.push_back(std::move(s));
+  manifest_.num_neighbor_entries += neighbors.size();
+  return Status::Ok();
+}
+
+Result<ShardManifest> ShardSetWriter::Finish() {
+  KSYM_RETURN_IF_ERROR(manifest_.Validate());
+  KSYM_RETURN_IF_ERROR(manifest_.WriteFile(prefix_ + ".manifest"));
+  return manifest_;
+}
+
 Result<std::vector<std::pair<VertexId, VertexId>>> Partitioner::Plan(
     const Graph& graph, const PartitionOptions& options) {
   const size_t n = graph.NumVertices();
@@ -77,44 +117,18 @@ Result<ShardManifest> Partitioner::Split(const Graph& graph,
   const std::span<const EdgeIndex> offsets = graph.RawOffsets();
   const std::span<const VertexId> neighbors = graph.RawNeighbors();
 
-  ShardManifest manifest;
-  manifest.num_vertices = n;
-  manifest.num_neighbor_entries = neighbors.size();
+  ShardSetWriter writer(prefix, n);
   std::vector<EdgeIndex> local_offsets;
-  for (size_t i = 0; i < ranges.size(); ++i) {
-    const auto [begin, end] = ranges[i];
+  for (const auto& [begin, end] : ranges) {
     const EdgeIndex base = offsets[begin];
     local_offsets.assign(offsets.begin() + begin, offsets.begin() + end + 1);
     for (EdgeIndex& o : local_offsets) o -= base;
-    const std::span<const VertexId> slice =
-        neighbors.subspan(base, offsets[end] - base);
-    const std::span<const uint64_t> label_slice =
-        labels.subspan(begin, end - begin);
-
-    const std::string file = StrFormat("%s.%zu.ksymcsr", prefix.c_str(), i);
-    std::ofstream out(file, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError(StrFormat("cannot open %s for writing: %s",
-                                       file.c_str(), std::strerror(errno)));
-    }
     KSYM_RETURN_IF_ERROR(
-        WriteCsrSections(local_offsets, slice, label_slice, out));
-    out.close();
-    // Read the header back for the checksum the manifest pins the file to.
-    KSYM_ASSIGN_OR_RETURN(const CsrFileInfo info,
-                          ReadCsrFileInfo(file, /*allow_odd_entries=*/true));
-    ShardInfo s;
-    s.begin = begin;
-    s.end = end;
-    s.neighbor_entries = slice.size();
-    s.header_checksum = info.header_checksum;
-    // Stored relative to the manifest's directory so the set moves as one.
-    s.file = Basename(file);
-    manifest.shards.push_back(std::move(s));
+        writer.AppendShard(begin, end, local_offsets,
+                           neighbors.subspan(base, offsets[end] - base),
+                           labels.subspan(begin, end - begin)));
   }
-  KSYM_RETURN_IF_ERROR(manifest.Validate());
-  KSYM_RETURN_IF_ERROR(manifest.WriteFile(prefix + ".manifest"));
-  return manifest;
+  return writer.Finish();
 }
 
 Result<LoadedGraph> MergeShards(const std::string& manifest_path) {

@@ -38,6 +38,35 @@ struct PartitionOptions {
   uint64_t max_entries = 0;
 };
 
+/// Incremental writer for a shard set: append vertex-range shards in
+/// ascending order, then Finish() to validate and write the manifest.
+/// Partitioner::Split splits a resident graph through this; the sharded
+/// anonymizer streams its output through it one range at a time, so the
+/// whole released graph is never held in memory.
+class ShardSetWriter {
+ public:
+  /// Shard files will be `<prefix>.<i>.ksymcsr`, the manifest
+  /// `<prefix>.manifest`; `num_vertices` is the global vertex count the
+  /// appended ranges must cover.
+  ShardSetWriter(std::string prefix, uint64_t num_vertices);
+
+  /// Writes the next shard: the range [begin, end), its offsets slice
+  /// rebased to 0 (end - begin + 1 entries), the matching neighbors slice
+  /// with *global* ids, and the labels slice (end - begin entries).
+  Status AppendShard(VertexId begin, VertexId end,
+                     std::span<const EdgeIndex> local_offsets,
+                     std::span<const VertexId> neighbors,
+                     std::span<const uint64_t> labels);
+
+  /// Validates the accumulated manifest (coverage, counts), writes it, and
+  /// returns it. Call exactly once, after the last AppendShard.
+  Result<ShardManifest> Finish();
+
+ private:
+  std::string prefix_;
+  ShardManifest manifest_;
+};
+
 class Partitioner {
  public:
   /// Plans the contiguous vertex ranges a split would produce, without

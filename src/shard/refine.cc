@@ -1,0 +1,78 @@
+#include "shard/refine.h"
+
+#include <atomic>
+
+#include "common/check.h"
+
+namespace ksym {
+
+ShardedNeighborSource::ShardedNeighborSource(ShardedGraph& graph)
+    : graph_(graph), groups_(graph.NumShards()) {}
+
+void ShardedNeighborSource::GroupByShard(std::span<const VertexId> splitter) {
+  for (std::vector<VertexId>& group : groups_) group.clear();
+  for (VertexId u : splitter) groups_[graph_.ShardOf(u)].push_back(u);
+}
+
+void ShardedNeighborSource::CountSplitter(std::span<const VertexId> splitter,
+                                          std::span<uint32_t> count,
+                                          std::vector<VertexId>& touched) {
+  GroupByShard(splitter);
+  for (uint32_t s = 0; s < groups_.size(); ++s) {
+    if (groups_[s].empty()) continue;
+    const Result<ShardView> view = graph_.Shard(s);
+    KSYM_CHECK(view.ok());
+    for (VertexId u : groups_[s]) {
+      for (VertexId v : view->Neighbors(u)) {
+        if (count[v]++ == 0) touched.push_back(v);
+      }
+    }
+  }
+}
+
+void ShardedNeighborSource::CountSplitterParallel(
+    ThreadPool* pool, std::span<const VertexId> splitter,
+    std::span<uint32_t> count, std::span<std::vector<VertexId>> touched) {
+  GroupByShard(splitter);
+  // One ParallelFor per storage shard: the orchestrating thread pins the
+  // shard, workers only read through the view. Counts accumulate across
+  // groups, so "first increment overall" still fires exactly once per
+  // vertex — the touched lists stay duplicate-free across group barriers.
+  for (uint32_t s = 0; s < groups_.size(); ++s) {
+    const std::vector<VertexId>& group = groups_[s];
+    if (group.empty()) continue;
+    const Result<ShardView> view = graph_.Shard(s);
+    KSYM_CHECK(view.ok());
+    ParallelFor(pool, group.size(),
+                [&group, &view, count, touched](size_t begin, size_t end,
+                                                uint32_t shard) {
+                  std::vector<VertexId>& mine = touched[shard];
+                  for (size_t i = begin; i < end; ++i) {
+                    for (VertexId v : view->Neighbors(group[i])) {
+                      std::atomic_ref<uint32_t> c(count[v]);
+                      if (c.fetch_add(1, std::memory_order_relaxed) == 0) {
+                        mine.push_back(v);
+                      }
+                    }
+                  }
+                });
+  }
+}
+
+std::vector<std::vector<VertexId>> ShardedEquitablePartition(
+    ShardedGraph& graph, const RefinementOptions& options) {
+  ShardedNeighborSource source(graph);
+  return EquitablePartition(source, options);
+}
+
+VertexPartition ShardedTotalDegreePartition(ShardedGraph& graph,
+                                            const ExecutionContext* context,
+                                            uint64_t* trace_hash) {
+  return VertexPartition::FromCells(
+      graph.NumVertices(),
+      ShardedEquitablePartition(graph,
+                                RefinementOptions{.context = context,
+                                                  .trace_hash = trace_hash}));
+}
+
+}  // namespace ksym

@@ -201,6 +201,82 @@ TEST(ShardManifestLadderTest, TruncatedAndTrailing) {
                         "trailing data", "trailing");
 }
 
+// ---------------------------------------------------------------------------
+// Single-byte corruption fuzz, in the style of csr_io_test's CSR fuzz: for
+// every trial, XOR one byte of a valid serialized manifest and demand the
+// parser either rejects with a descriptive (nonempty) message or — when the
+// flip happens to be semantically neutral, which the body checksum makes
+// effectively impossible — accepts a manifest that serializes back to the
+// *original* bytes. Never a crash, never silent acceptance of changed data.
+// ---------------------------------------------------------------------------
+
+TEST(ShardManifestFuzzTest, SingleByteCorruptionNeverSilentlyAccepted) {
+  const std::string original = MakeValidManifest().Serialize();
+  ASSERT_FALSE(original.empty());
+  Rng rng(0x5eedf00d);
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE(testing::Message() << "trial " << trial);
+    std::string corrupted = original;
+    const size_t pos = rng.NextBounded(corrupted.size());
+    corrupted[pos] = static_cast<char>(
+        corrupted[pos] ^ static_cast<char>(1 + rng.NextBounded(255)));
+
+    const std::string path = TempPath("manifest_fuzz.manifest");
+    WriteFileBytes(path, corrupted);
+    const auto parsed = ShardManifest::ReadFile(path);
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed->Serialize(), original)
+          << "byte " << pos << " accepted with changed semantics";
+    } else {
+      EXPECT_FALSE(parsed.status().message().empty());
+      EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in golden manifest pins the serialization format: the exact
+// bytes a writer emits must never drift (old manifests stay readable, new
+// ones stay readable by old code).
+// ---------------------------------------------------------------------------
+
+ShardManifest MakeGoldenManifest() {
+  ShardManifest manifest;
+  manifest.num_vertices = 69;
+  manifest.num_neighbor_entries = 378;
+  manifest.shards = {{0, 23, 140, 0x1f2e3d4c5b6a7988ULL, "golden.0.ksymcsr"},
+                     {23, 46, 150, 0x99aabbccddeeff00ULL, "golden.1.ksymcsr"},
+                     {46, 69, 88, 0x0123456789abcdefULL, "golden.2.ksymcsr"}};
+  return manifest;
+}
+
+TEST(ShardManifestGoldenTest, SerializationMatchesCheckedInBytes) {
+  const std::string golden_path =
+      std::string(KSYM_TESTDATA_DIR) + "/golden.manifest";
+  EXPECT_EQ(MakeGoldenManifest().Serialize(), ReadFileBytes(golden_path));
+}
+
+TEST(ShardManifestGoldenTest, CheckedInBytesParse) {
+  const std::string golden_path =
+      std::string(KSYM_TESTDATA_DIR) + "/golden.manifest";
+  const auto parsed = ShardManifest::ReadFile(golden_path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const ShardManifest expected = MakeGoldenManifest();
+  EXPECT_EQ(parsed->num_vertices, expected.num_vertices);
+  EXPECT_EQ(parsed->num_neighbor_entries, expected.num_neighbor_entries);
+  ASSERT_EQ(parsed->NumShards(), expected.NumShards());
+  for (size_t i = 0; i < expected.NumShards(); ++i) {
+    EXPECT_EQ(parsed->shards[i].begin, expected.shards[i].begin);
+    EXPECT_EQ(parsed->shards[i].end, expected.shards[i].end);
+    EXPECT_EQ(parsed->shards[i].neighbor_entries,
+              expected.shards[i].neighbor_entries);
+    EXPECT_EQ(parsed->shards[i].header_checksum,
+              expected.shards[i].header_checksum);
+    EXPECT_EQ(parsed->shards[i].file, expected.shards[i].file);
+  }
+  EXPECT_TRUE(IsManifestFile(golden_path));
+}
+
 // The file-level rungs: count mismatch, checksum mismatch, and missing
 // shard file fire against real shard files written by a split.
 TEST(ShardManifestLadderTest, ShardFileCountMismatch) {

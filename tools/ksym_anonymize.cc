@@ -1,17 +1,30 @@
 // ksym_anonymize — command-line publisher tool.
 //
-// Reads a graph (text edge list or binary .ksymcsr, detected by magic —
-// binary inputs are mmap'ed zero-copy), makes it k-symmetric (optionally
-// excluding the top hub fraction per Section 5.2, optionally with the
-// vertex-minimal variant of Section 5.1), and writes the release triple.
+// Reads a graph (text edge list, binary .ksymcsr, or a ksym_shard manifest,
+// detected by magic) and makes it k-symmetric (optionally excluding the top
+// hub fraction per Section 5.2, optionally with the vertex-minimal variant
+// of Section 5.1).
 //
 //   ksym_anonymize --input graph.edges --output release.ksym --k 5
 //                  [--exclude-hubs 0.01] [--minimal] [--tdv] [--threads N]
+//                  [--binary]
+//
+// With a manifest input the whole pipeline runs out-of-core (DESIGN.md
+// §11): the shard set streams through the refinement and copy phases under
+// --resident-bytes, --output names the output shard-set *prefix*, and the
+// release is written as `<prefix>.<i>.ksymcsr` shards plus
+// `<prefix>.manifest` — byte-identical after `ksym_shard merge` to the
+// in-memory run's --binary release. Sharded mode requires --tdv (the exact
+// orbit search needs random access) and rejects --minimal.
+//
+//   ksym_anonymize --input graph.manifest --output release --k 5 --tdv
+//                  [--threads N] [--resident-bytes B] [--output-shards S]
 //
 // --tdv uses the total degree partition (Section 7) instead of the exact
 // automorphism partition; recommended above ~10^4 vertices. --threads
 // shards the refinement inside the partition phase (results are
-// bit-identical to the sequential run).
+// bit-identical to the sequential run). --binary writes the in-memory
+// release in the zero-copy CSR encoding instead of the text triple.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,15 +38,86 @@
 #include "ksym/anonymizer.h"
 #include "ksym/minimal.h"
 #include "ksym/release_io.h"
+#include "ksym/sharded_anonymizer.h"
+#include "shard/manifest.h"
+#include "shard/sharded_graph.h"
+#include "tool_common.h"
 
 namespace {
+
+using ksym_tools::Fail;
 
 void Usage() {
   std::fprintf(
       stderr,
       "usage: ksym_anonymize --input graph.edges --output release.ksym\n"
       "                      --k K [--exclude-hubs FRACTION] [--minimal]\n"
-      "                      [--tdv] [--threads N]\n");
+      "                      [--tdv] [--threads N] [--binary]\n"
+      "       ksym_anonymize --input graph.manifest --output PREFIX\n"
+      "                      --k K --tdv [--exclude-hubs FRACTION]\n"
+      "                      [--threads N] [--resident-bytes B]\n"
+      "                      [--output-shards S]\n");
+}
+
+void PrintPhaseStats(const ksym::RefinementStats& refinement,
+                     uint32_t threads) {
+  std::fprintf(stderr,
+               "phases (threads=%u): partition %.1f ms (refine %.1f ms, "
+               "%llu refine calls, %llu cells split), copy %.1f ms\n",
+               threads, refinement.partition_seconds * 1e3,
+               refinement.refine_seconds * 1e3,
+               static_cast<unsigned long long>(refinement.refine_calls),
+               static_cast<unsigned long long>(refinement.cells_split),
+               refinement.copy_seconds * 1e3);
+}
+
+int RunSharded(const std::string& input, const std::string& output_prefix,
+               uint32_t k, double exclude_hubs, bool minimal, bool tdv,
+               const ksym::ExecutionContext& context, size_t resident_bytes,
+               uint32_t output_shards) {
+  using namespace ksym;
+  if (minimal) {
+    return Fail(Status::InvalidArgument(
+        "--minimal needs the resident graph; not available in sharded mode"));
+  }
+  if (!tdv) {
+    return Fail(Status::InvalidArgument(
+        "sharded mode requires --tdv (the exact orbit search needs random "
+        "access to the whole graph)"));
+  }
+
+  ShardedGraphOptions open_options;
+  if (resident_bytes > 0) open_options.max_resident_bytes = resident_bytes;
+  auto graph = ShardedGraph::Open(input, open_options);
+  if (!graph.ok()) return Fail(graph.status());
+  std::fprintf(stderr,
+               "opened shard set %s: %zu vertices, %zu edges, %u shards "
+               "[out-of-core]\n",
+               input.c_str(), graph->NumVertices(), graph->NumEdges(),
+               graph->NumShards());
+
+  ShardedAnonymizationOptions options;
+  options.k = k;
+  options.exclude_hubs_fraction = exclude_hubs;
+  options.context = &context;
+  options.output_shards = output_shards;
+
+  Timer timer;
+  const auto result = AnonymizeSharded(*graph, options, output_prefix);
+  if (!result.ok()) return Fail(result.status());
+  std::fprintf(stderr,
+               "anonymized to k=%u in %.1f ms: +%zu vertices, +%zu edges, "
+               "%zu copy operations, %zu hub orbits excluded\n",
+               k, timer.ElapsedMillis(), result->vertices_added,
+               result->edges_added, result->copy_operations,
+               result->orbits_excluded);
+  PrintPhaseStats(result->refinement, context.threads());
+  ksym_tools::PrintResidencyStats(result->residency);
+  std::fprintf(stderr,
+               "wrote %zu-vertex release as %zu shards to %s.manifest\n",
+               result->released_vertices, result->manifest.NumShards(),
+               output_prefix.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -46,7 +130,10 @@ int main(int argc, char** argv) {
   double exclude_hubs = 0.0;
   bool minimal = false;
   bool tdv = false;
+  bool binary = false;
   uint32_t threads = 1;
+  size_t resident_bytes = 0;
+  uint32_t output_shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,8 +156,14 @@ int main(int argc, char** argv) {
       minimal = true;
     } else if (arg == "--tdv") {
       tdv = true;
+    } else if (arg == "--binary") {
+      binary = true;
     } else if (arg == "--threads") {
       threads = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--resident-bytes") {
+      resident_bytes = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--output-shards") {
+      output_shards = static_cast<uint32_t>(std::atoi(next()));
     } else {
       Usage();
       return 2;
@@ -81,11 +174,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto loaded = ReadGraphAuto(input);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
+  ExecutionContext context(threads);
+  if (IsManifestFile(input)) {
+    return RunSharded(input, output, k, exclude_hubs, minimal, tdv, context,
+                      resident_bytes, output_shards);
   }
+
+  const auto loaded = ReadGraphAuto(input);
+  if (!loaded.ok()) return Fail(loaded.status());
   const Graph& graph = loaded->graph;
   const DegreeStats stats = ComputeDegreeStats(graph);
   std::fprintf(stderr,
@@ -93,7 +189,6 @@ int main(int argc, char** argv) {
                stats.num_vertices, stats.num_edges, stats.max_degree,
                loaded->binary ? "binary csr, mmap" : "text");
 
-  ExecutionContext context(threads);
   AnonymizationOptions options;
   options.k = k;
   options.use_total_degree_partition = tdv;
@@ -107,32 +202,20 @@ int main(int argc, char** argv) {
   const auto result =
       minimal ? AnonymizeMinimalVertices(graph, options)
               : Anonymize(graph, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return Fail(result.status());
   std::fprintf(stderr,
                "anonymized to k=%u in %.1f ms: +%zu vertices, +%zu edges, "
                "%zu copy operations, %zu hub orbits excluded\n",
                k, timer.ElapsedMillis(), result->vertices_added,
                result->edges_added, result->copy_operations,
                result->orbits_excluded);
-  const RefinementStats& refinement = result->refinement;
-  std::fprintf(stderr,
-               "phases (threads=%u): partition %.1f ms (refine %.1f ms, "
-               "%llu refine calls, %llu cells split), copy %.1f ms\n",
-               context.threads(), refinement.partition_seconds * 1e3,
-               refinement.refine_seconds * 1e3,
-               static_cast<unsigned long long>(refinement.refine_calls),
-               static_cast<unsigned long long>(refinement.cells_split),
-               refinement.copy_seconds * 1e3);
+  PrintPhaseStats(result->refinement, context.threads());
 
   const Status write_status =
-      WriteReleaseFile(MakeReleaseTriple(*result), output);
-  if (!write_status.ok()) {
-    std::fprintf(stderr, "error: %s\n", write_status.ToString().c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "wrote release triple to %s\n", output.c_str());
+      binary ? WriteReleaseCsrFile(MakeReleaseTriple(*result), output)
+             : WriteReleaseFile(MakeReleaseTriple(*result), output);
+  if (!write_status.ok()) return Fail(write_status);
+  std::fprintf(stderr, "wrote release %s to %s\n",
+               binary ? "(binary csr)" : "triple", output.c_str());
   return 0;
 }

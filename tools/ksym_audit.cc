@@ -21,8 +21,11 @@
 #include "common/timer.h"
 #include "graph/algorithms.h"
 #include "graph/io.h"
+#include "tool_common.h"
 
 namespace {
+
+using ksym_tools::Fail;
 
 void Usage() {
   std::fprintf(stderr,
@@ -67,10 +70,7 @@ int main(int argc, char** argv) {
   }
 
   const auto loaded = ReadGraphAuto(input);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+  if (!loaded.ok()) return Fail(loaded.status());
   const Graph& graph = loaded->graph;
   const DegreeStats stats = ComputeDegreeStats(graph);
   std::printf("graph: %zu vertices, %zu edges, degree %zu..%zu (avg %.2f)\n",

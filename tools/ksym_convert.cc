@@ -21,8 +21,11 @@
 #include "common/timer.h"
 #include "graph/algorithms.h"
 #include "graph/io.h"
+#include "tool_common.h"
 
 namespace {
+
+using ksym_tools::Fail;
 
 void Usage() {
   std::fprintf(stderr,
@@ -38,7 +41,7 @@ void Usage() {
 bool PrintCsrInfo(const std::string& path) {
   const auto info = ksym::ReadCsrFileInfo(path);
   if (!info.ok()) {
-    std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
+    Fail(info.status());
     return false;
   }
   std::fprintf(
@@ -96,10 +99,7 @@ int main(int argc, char** argv) {
 
   Timer timer;
   const auto loaded = ReadGraphAuto(input, read_options);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+  if (!loaded.ok()) return Fail(loaded.status());
   const DegreeStats stats = ComputeDegreeStats(loaded->graph);
   std::fprintf(stderr, "loaded %s (%s): %zu vertices, %zu edges in %.1f ms\n",
                input.c_str(), loaded->binary ? "binary csr" : "text",
@@ -113,10 +113,7 @@ int main(int argc, char** argv) {
   } else {
     status = WriteEdgeListFile(loaded->graph, output);
   }
-  if (!status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
-  }
+  if (!status.ok()) return Fail(status);
   std::fprintf(stderr, "wrote %s (%s) in %.1f ms\n", output.c_str(),
                format.c_str(), timer.ElapsedMillis());
   // Header info for whichever side is binary (output wins when both are):

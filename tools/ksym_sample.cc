@@ -25,8 +25,11 @@
 #include "graph/io.h"
 #include "ksym/release_io.h"
 #include "ksym/sampling.h"
+#include "tool_common.h"
 
 namespace {
+
+using ksym_tools::Fail;
 
 void Usage() {
   std::fprintf(stderr,
@@ -80,11 +83,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto release = ReadReleaseFile(release_path);
-  if (!release.ok()) {
-    std::fprintf(stderr, "error: %s\n", release.status().ToString().c_str());
-    return 1;
-  }
+  // Accepts both the text release triple and the binary CSR release a
+  // merged sharded anonymization produces (detected by magic).
+  const auto release = ReadReleaseAuto(release_path);
+  if (!release.ok()) return Fail(release.status());
   std::fprintf(stderr,
                "release: %zu vertices, %zu edges, %zu cells, n=%zu\n",
                release->graph.NumVertices(), release->graph.NumEdges(),
@@ -100,20 +102,14 @@ int main(int argc, char** argv) {
   batch.context = &context;
   const auto drawn =
       DrawSamples(release->graph, release->partition, batch, rng);
-  if (!drawn.ok()) {
-    std::fprintf(stderr, "error: %s\n", drawn.status().ToString().c_str());
-    return 1;
-  }
+  if (!drawn.ok()) return Fail(drawn.status());
   for (size_t i = 0; i < drawn->size(); ++i) {
     const Graph& sample = (*drawn)[i];
     const std::string path =
         prefix + "." + std::to_string(i) + (binary ? ".ksymcsr" : ".edges");
     const Status status = binary ? WriteCsrFile(sample, {}, path)
                                  : WriteEdgeListFile(sample, path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
+    if (!status.ok()) return Fail(status);
     const DegreeStats stats = ComputeDegreeStats(sample);
     std::fprintf(stderr, "  %s: %zu vertices, %zu edges\n", path.c_str(),
                  stats.num_vertices, stats.num_edges);

@@ -2,18 +2,20 @@
 //
 //   ksym_shard split  --input G --output-prefix P (--shards N | --max-entries M)
 //                     [--no-validate]
-//   ksym_shard info   --manifest P.manifest
-//   ksym_shard verify --manifest P.manifest
+//   ksym_shard info   --manifest P.manifest [--resident-bytes B]
+//   ksym_shard verify --manifest P.manifest [--resident-bytes B]
 //   ksym_shard merge  --manifest P.manifest --output OUT.ksymcsr
 //
 // `split` cuts a graph (text or .ksymcsr, detected by magic) into balanced
 // vertex-range shard files `P.<i>.ksymcsr` plus the checksummed manifest
-// `P.manifest`. `verify` runs the full validation ladder: manifest magic /
-// syntax / body checksum / range coverage, then every shard file's header,
-// counts, checksums, and slice structure. `merge` reassembles the original
-// graph; splitting a .ksymcsr and merging it back reproduces the input byte
-// for byte (CI round-trips this). `info` prints the manifest without
-// touching shard data.
+// `P.manifest`. `info` prints the manifest, then streams the shard set once
+// (degree stats) and reports how the residency cache behaved under
+// --resident-bytes. `verify` runs the full validation ladder — manifest
+// magic / syntax / body checksum / range coverage via ShardedGraph::Open
+// (which also header-verifies every file), then loads every shard with full
+// section-checksum + slice-structure validation. `merge` reassembles the
+// original graph; splitting a .ksymcsr and merging it back reproduces the
+// input byte for byte (CI round-trips this).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,22 +26,21 @@
 #include "graph/io.h"
 #include "shard/manifest.h"
 #include "shard/partitioner.h"
+#include "shard/sharded_graph.h"
+#include "tool_common.h"
 
 namespace {
+
+using ksym_tools::Fail;
 
 void Usage() {
   std::fprintf(
       stderr,
       "usage: ksym_shard split  --input G --output-prefix P\n"
       "                         (--shards N | --max-entries M) [--no-validate]\n"
-      "       ksym_shard info   --manifest M\n"
-      "       ksym_shard verify --manifest M\n"
+      "       ksym_shard info   --manifest M [--resident-bytes B]\n"
+      "       ksym_shard verify --manifest M [--resident-bytes B]\n"
       "       ksym_shard merge  --manifest M --output OUT\n");
-}
-
-int Fail(const ksym::Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
 }
 
 void PrintManifest(const ksym::ShardManifest& manifest) {
@@ -58,6 +59,12 @@ void PrintManifest(const ksym::ShardManifest& manifest) {
                  static_cast<unsigned long long>(s.header_checksum),
                  s.file.c_str());
   }
+}
+
+ksym::ShardedGraphOptions OpenOptions(size_t resident_bytes) {
+  ksym::ShardedGraphOptions options;
+  if (resident_bytes > 0) options.max_resident_bytes = resident_bytes;
+  return options;
 }
 
 int RunSplit(const std::string& input, const std::string& prefix,
@@ -80,34 +87,49 @@ int RunSplit(const std::string& input, const std::string& prefix,
   return 0;
 }
 
-int RunInfo(const std::string& manifest_path) {
-  const auto manifest = ksym::ShardManifest::ReadFile(manifest_path);
-  if (!manifest.ok()) return Fail(manifest.status());
-  PrintManifest(*manifest);
+int RunInfo(const std::string& manifest_path, size_t resident_bytes) {
+  auto graph = ksym::ShardedGraph::Open(manifest_path,
+                                        OpenOptions(resident_bytes));
+  if (!graph.ok()) return Fail(graph.status());
+  PrintManifest(graph->manifest());
+
+  // One streaming pass over the shard set: global degree stats, and a
+  // residency-cache profile at this byte budget.
+  size_t min_degree = graph->NumVertices() > 0 ? SIZE_MAX : 0;
+  size_t max_degree = 0;
+  for (uint32_t s = 0; s < graph->NumShards(); ++s) {
+    const auto view = graph->Shard(s);
+    if (!view.ok()) return Fail(view.status());
+    for (ksym::VertexId v = view->begin(); v < view->end(); ++v) {
+      const size_t d = view->Degree(v);
+      if (d < min_degree) min_degree = d;
+      if (d > max_degree) max_degree = d;
+    }
+  }
+  std::fprintf(stderr, "degrees: min %zu, max %zu, avg %.2f\n", min_degree,
+               max_degree,
+               graph->NumVertices() > 0
+                   ? 2.0 * static_cast<double>(graph->NumEdges()) /
+                         static_cast<double>(graph->NumVertices())
+                   : 0.0);
+  ksym_tools::PrintResidencyStats(graph->stats());
   return 0;
 }
 
-int RunVerify(const std::string& manifest_path) {
-  // Ladder: manifest magic/syntax/checksum/ranges (ReadFile), then each
-  // shard's header vs. its manifest row (VerifyShardFiles), then each
-  // shard's full section checksums + slice structure (MapCsrSections).
-  const auto manifest = ksym::ShardManifest::ReadFile(manifest_path);
-  if (!manifest.ok()) return Fail(manifest.status());
-  const ksym::Status headers =
-      ksym::VerifyShardFiles(*manifest, manifest_path);
-  if (!headers.ok()) return Fail(headers);
-  for (const ksym::ShardInfo& s : manifest->shards) {
-    ksym::CsrReadOptions options;
-    options.shard_global_vertices = manifest->num_vertices;
-    options.shard_base = s.begin;
-    const auto sections = ksym::MapCsrSections(
-        ksym::ResolveShardPath(manifest_path, s), options);
-    if (!sections.ok()) return Fail(sections.status());
+int RunVerify(const std::string& manifest_path, size_t resident_bytes) {
+  // Ladder: manifest magic/syntax/checksum/ranges plus every shard's header
+  // vs. its manifest row (ShardedGraph::Open), then each shard's full
+  // section checksums + slice structure (the validating Shard() loads).
+  auto graph = ksym::ShardedGraph::Open(manifest_path,
+                                        OpenOptions(resident_bytes));
+  if (!graph.ok()) return Fail(graph.status());
+  for (uint32_t s = 0; s < graph->NumShards(); ++s) {
+    const auto view = graph->Shard(s);
+    if (!view.ok()) return Fail(view.status());
   }
-  std::fprintf(stderr, "OK: %zu shards, %llu vertices, %zu edges verified\n",
-               manifest->NumShards(),
-               static_cast<unsigned long long>(manifest->num_vertices),
-               manifest->NumEdges());
+  std::fprintf(stderr, "OK: %u shards, %zu vertices, %zu edges verified\n",
+               graph->NumShards(), graph->NumVertices(), graph->NumEdges());
+  ksym_tools::PrintResidencyStats(graph->stats());
   return 0;
 }
 
@@ -137,6 +159,7 @@ int main(int argc, char** argv) {
   std::string manifest;
   ksym::PartitionOptions options;
   bool validate = true;
+  size_t resident_bytes = 0;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -161,6 +184,8 @@ int main(int argc, char** argv) {
       options.max_entries = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--no-validate") {
       validate = false;
+    } else if (arg == "--resident-bytes") {
+      resident_bytes = static_cast<size_t>(std::atoll(next()));
     } else {
       Usage();
       return 2;
@@ -179,14 +204,14 @@ int main(int argc, char** argv) {
       Usage();
       return 2;
     }
-    return RunInfo(manifest);
+    return RunInfo(manifest, resident_bytes);
   }
   if (command == "verify") {
     if (manifest.empty()) {
       Usage();
       return 2;
     }
-    return RunVerify(manifest);
+    return RunVerify(manifest, resident_bytes);
   }
   if (command == "merge") {
     if (manifest.empty() || output.empty()) {

@@ -1,0 +1,37 @@
+// Shared CLI plumbing for the ksym_* tools: one error-reporting convention
+// (every failure path prints the Status to stderr as "error: ..." and exits
+// nonzero) and the common residency-stats line for tools that stream a
+// ShardedGraph.
+
+#ifndef KSYM_TOOLS_TOOL_COMMON_H_
+#define KSYM_TOOLS_TOOL_COMMON_H_
+
+#include <cstdio>
+
+#include "common/status.h"
+#include "shard/sharded_graph.h"
+
+namespace ksym_tools {
+
+/// Prints `status` to stderr and returns the tool's failure exit code.
+/// Usage: `if (!r.ok()) return Fail(r.status());`
+inline int Fail(const ksym::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// One-line residency summary of a sharded run — how the streaming behaved
+/// under the byte budget.
+inline void PrintResidencyStats(const ksym::ShardResidencyStats& stats) {
+  std::fprintf(stderr,
+               "residency: %llu loads, %llu hits, %llu evictions, "
+               "peak resident %zu bytes\n",
+               static_cast<unsigned long long>(stats.loads),
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.evictions),
+               stats.peak_resident_bytes);
+}
+
+}  // namespace ksym_tools
+
+#endif  // KSYM_TOOLS_TOOL_COMMON_H_
