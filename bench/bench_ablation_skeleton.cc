@@ -23,7 +23,7 @@ int main() {
   bench::PrintRule();
   for (const auto& dataset : bench::PrepareAllDatasets()) {
     const BackboneResult backbone =
-        ComputeBackbone(dataset.graph, dataset.orbits);
+        ComputeBackbone(dataset.graph, dataset.orbits, nullptr);
     const QuotientResult quotient =
         ComputeQuotient(dataset.graph, dataset.orbits);
     std::printf("%-11s %10zu %10zu %10zu %12zu\n", dataset.name.c_str(),
@@ -37,7 +37,7 @@ int main() {
   bench::PrintRule();
   for (const auto& dataset : bench::PrepareAllDatasets()) {
     const BackboneResult backbone =
-        ComputeBackbone(dataset.graph, dataset.orbits);
+        ComputeBackbone(dataset.graph, dataset.orbits, nullptr);
     const GraphSummary original =
         ComputeGraphSummary(dataset.graph, rng);
     const GraphSummary reduced = ComputeGraphSummary(backbone.graph, rng);

@@ -19,10 +19,10 @@ int main() {
   bench::PrintRule();
   for (Dataset& dataset : MakeAllDatasets()) {
     Timer timer;
-    const VertexPartition tdv = ComputeTotalDegreePartition(dataset.graph);
+    const VertexPartition tdv = ComputeTotalDegreePartition(dataset.graph, nullptr);
     const double tdv_ms = timer.ElapsedMillis();
     timer.Reset();
-    const VertexPartition orb = ComputeAutomorphismPartition(dataset.graph);
+    const VertexPartition orb = ComputeAutomorphismPartition(dataset.graph, {}, nullptr);
     const double orb_ms = timer.ElapsedMillis();
     std::printf("%-11s %10zu %10zu %12.2f %12.2f %8s\n", dataset.name.c_str(),
                 tdv.NumCells(), orb.NumCells(), tdv_ms, orb_ms,

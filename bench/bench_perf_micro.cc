@@ -72,7 +72,7 @@ const Graph& HepthGraph() {
 
 const VertexPartition& HepthOrbits() {
   static const VertexPartition* orbits =
-      new VertexPartition(ComputeAutomorphismPartition(HepthGraph()));
+      new VertexPartition(ComputeAutomorphismPartition(HepthGraph(), {}, nullptr));
   return *orbits;
 }
 
@@ -399,7 +399,7 @@ BENCHMARK(BM_RefineAllThreadsBigScan)
 void BM_AutomorphismSearchEnron(benchmark::State& state) {
   const Graph& graph = EnronGraph();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
+    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph, {}, nullptr));
   }
   AttachMemoryCounters(state, graph);
 }
@@ -408,7 +408,7 @@ BENCHMARK(BM_AutomorphismSearchEnron);
 void BM_AutomorphismSearchHepth(benchmark::State& state) {
   const Graph& graph = HepthGraph();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
+    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph, {}, nullptr));
   }
   AttachMemoryCounters(state, graph);
 }
@@ -419,7 +419,7 @@ void BM_AutomorphismSearchRandom(benchmark::State& state) {
   const Graph graph =
       ErdosRenyiGnm(state.range(0), 2 * state.range(0), rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph));
+    benchmark::DoNotOptimize(ComputeAutomorphismPartition(graph, {}, nullptr));
   }
 }
 BENCHMARK(BM_AutomorphismSearchRandom)->Arg(256)->Arg(1024)->Arg(4096);

@@ -48,7 +48,7 @@ inline PreparedDataset Prepare(Dataset dataset) {
   out.graph = std::move(dataset.graph);
   out.paper_stats = dataset.paper_stats;
   Timer timer;
-  out.orbits = ComputeAutomorphismPartition(out.graph);
+  out.orbits = ComputeAutomorphismPartition(out.graph, {}, nullptr);
   out.orbit_millis = timer.ElapsedMillis();
   return out;
 }

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
               stats.num_vertices, stats.num_edges, stats.min_degree,
               stats.max_degree, stats.average_degree);
 
-  const VertexPartition orbits = ComputeAutomorphismPartition(graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(graph, {}, nullptr);
   std::printf("Theoretical exposure limit (automorphism partition):\n");
   std::printf("  %zu of %zu vertices (%.1f%%) are uniquely identifiable by\n"
               "  *some* structural knowledge; no knowledge can do better.\n\n",

@@ -34,7 +34,7 @@ int main() {
 
   // Step 1: the automorphism partition Orb(G). |Orb(v)| bounds the power of
   // every structural attack against v; singleton orbits are fully exposed.
-  const VertexPartition orbits = ComputeAutomorphismPartition(graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(graph, {}, nullptr);
   std::printf("\nAutomorphism partition (%zu orbits):\n", orbits.NumCells());
   for (const auto& orbit : orbits.cells) {
     std::printf("  {");

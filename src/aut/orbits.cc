@@ -79,11 +79,6 @@ VertexPartition ComputeAutomorphismPartition(const Graph& graph,
   return VertexPartition::FromRepresentatives(aut.orbit_rep);
 }
 
-VertexPartition ComputeAutomorphismPartition(
-    const Graph& graph, const std::vector<uint32_t>& colors) {
-  return ComputeAutomorphismPartition(graph, colors, nullptr);
-}
-
 VertexPartition ComputeTotalDegreePartition(const Graph& graph,
                                             const ExecutionContext* context,
                                             uint64_t* trace_hash) {
@@ -91,15 +86,6 @@ VertexPartition ComputeTotalDegreePartition(const Graph& graph,
       graph.NumVertices(),
       EquitablePartition(graph, RefinementOptions{.context = context,
                                                   .trace_hash = trace_hash}));
-}
-
-VertexPartition ComputeTotalDegreePartition(const Graph& graph,
-                                            const ExecutionContext* context) {
-  return ComputeTotalDegreePartition(graph, context, nullptr);
-}
-
-VertexPartition ComputeTotalDegreePartition(const Graph& graph) {
-  return ComputeTotalDegreePartition(graph, nullptr);
 }
 
 }  // namespace ksym

@@ -53,11 +53,6 @@ VertexPartition ComputeAutomorphismPartition(const Graph& graph,
                                              const std::vector<uint32_t>& colors,
                                              const ExecutionContext* context);
 
-/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
-/// callers compile. Prefer the context overload.
-VertexPartition ComputeAutomorphismPartition(
-    const Graph& graph, const std::vector<uint32_t>& colors = {});
-
 /// TDV(G): the coarsest equitable partition (iterated degree refinement),
 /// on `context`'s execution policy. Every cell is a union of orbits, so it
 /// is a *conservative upper approximation*: cell sizes >= orbit sizes.
@@ -65,13 +60,7 @@ VertexPartition ComputeAutomorphismPartition(
 /// digest the sharded pipeline compares against the in-memory run.
 VertexPartition ComputeTotalDegreePartition(const Graph& graph,
                                             const ExecutionContext* context,
-                                            uint64_t* trace_hash);
-VertexPartition ComputeTotalDegreePartition(const Graph& graph,
-                                            const ExecutionContext* context);
-
-/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
-/// callers compile. Prefer the context overload.
-VertexPartition ComputeTotalDegreePartition(const Graph& graph);
+                                            uint64_t* trace_hash = nullptr);
 
 }  // namespace ksym
 

@@ -418,10 +418,4 @@ std::vector<std::vector<VertexId>> EquitablePartition(
   return partition.Cells();
 }
 
-std::vector<std::vector<VertexId>> EquitablePartition(
-    const Graph& graph, const std::vector<uint32_t>& colors) {
-  return EquitablePartition(graph,
-                            RefinementOptions{.colors = colors});
-}
-
 }  // namespace ksym

@@ -196,12 +196,6 @@ std::vector<std::vector<VertexId>> EquitablePartition(
 std::vector<std::vector<VertexId>> EquitablePartition(
     NeighborSource& source, const RefinementOptions& options);
 
-/// Deprecated: thin wrapper over the RefinementOptions overload, kept so
-/// pre-ExecutionContext callers compile. Prefer
-/// EquitablePartition(graph, RefinementOptions{.colors = ..., .context = ...}).
-std::vector<std::vector<VertexId>> EquitablePartition(
-    const Graph& graph, const std::vector<uint32_t>& colors = {});
-
 }  // namespace ksym
 
 #endif  // KSYM_AUT_REFINEMENT_H_

@@ -198,9 +198,4 @@ AutomorphismResult ComputeAutomorphisms(const Graph& graph,
   return AutSearcher(graph, colors, context).Run();
 }
 
-AutomorphismResult ComputeAutomorphisms(const Graph& graph,
-                                        const std::vector<uint32_t>& colors) {
-  return ComputeAutomorphisms(graph, colors, nullptr);
-}
-
 }  // namespace ksym

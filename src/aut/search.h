@@ -53,11 +53,6 @@ AutomorphismResult ComputeAutomorphisms(const Graph& graph,
                                         const std::vector<uint32_t>& colors,
                                         const ExecutionContext* context);
 
-/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
-/// callers compile. Prefer the context overload.
-AutomorphismResult ComputeAutomorphisms(const Graph& graph,
-                                        const std::vector<uint32_t>& colors = {});
-
 }  // namespace ksym
 
 #endif  // KSYM_AUT_SEARCH_H_

@@ -174,9 +174,4 @@ BackboneResult ComputeBackbone(const Graph& graph,
   return result;
 }
 
-BackboneResult ComputeBackbone(const Graph& graph,
-                               const VertexPartition& partition) {
-  return ComputeBackbone(graph, partition, nullptr);
-}
-
 }  // namespace ksym

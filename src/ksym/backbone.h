@@ -49,11 +49,6 @@ BackboneResult ComputeBackbone(const Graph& graph,
                                const VertexPartition& partition,
                                const ExecutionContext* context);
 
-/// Deprecated: sequential-signature wrapper, kept so pre-ExecutionContext
-/// callers compile. Prefer the context overload.
-BackboneResult ComputeBackbone(const Graph& graph,
-                               const VertexPartition& partition);
-
 }  // namespace ksym
 
 #endif  // KSYM_KSYM_BACKBONE_H_

@@ -50,14 +50,14 @@ DistinctImageWitness FindDistinctImageWitness(const Graph& graph, VertexId v,
                                               uint32_t k) {
   KSYM_CHECK(v < graph.NumVertices());
   KSYM_CHECK(k >= 2);
-  const AutomorphismResult aut = ComputeAutomorphisms(graph);
+  const AutomorphismResult aut = ComputeAutomorphisms(graph, {}, nullptr);
   return WitnessFromTransversal(
       OrbitTransversal(graph.NumVertices(), aut.generators, v), v, k);
 }
 
 bool SatisfiesDistinctImageCharacterization(const Graph& graph, uint32_t k) {
   if (k <= 1) return true;
-  const AutomorphismResult aut = ComputeAutomorphisms(graph);
+  const AutomorphismResult aut = ComputeAutomorphisms(graph, {}, nullptr);
   // One transversal per orbit suffices: if the representative admits a
   // witness, so does every member (conjugate the family).
   std::unordered_map<VertexId, bool> orbit_ok;

@@ -48,7 +48,7 @@ Result<Graph> ExactBackboneSample(const Graph& graph,
 
   // Backbone of the released pair; backbone cell b corresponds to released
   // cell via the representative's cell in the input partition.
-  const BackboneResult backbone = ComputeBackbone(graph, partition);
+  const BackboneResult backbone = ComputeBackbone(graph, partition, nullptr);
   const size_t num_backbone_cells = backbone.partition.cells.size();
 
   // Map each backbone cell to its released cell (for sizes and weights).

@@ -6,7 +6,7 @@ namespace ksym {
 
 size_t MinimumOrbitSize(const Graph& graph) {
   if (graph.NumVertices() == 0) return 0;
-  const VertexPartition orbits = ComputeAutomorphismPartition(graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(graph, {}, nullptr);
   size_t min_size = graph.NumVertices();
   for (const auto& cell : orbits.cells) {
     min_size = std::min(min_size, cell.size());
@@ -23,7 +23,7 @@ bool IsCellwiseSubAutomorphismPartition(const Graph& graph,
                                         const VertexPartition& partition) {
   if (partition.cell_of.size() != graph.NumVertices()) return false;
   const VertexPartition colored_orbits =
-      ComputeAutomorphismPartition(graph, partition.cell_of);
+      ComputeAutomorphismPartition(graph, partition.cell_of, nullptr);
   // Every cell must lie inside a single orbit of the cell-preserving group;
   // since orbits of that group are themselves inside cells, this means the
   // two partitions coincide.

@@ -1,0 +1,539 @@
+#include "serve/api.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "attack/measures.h"
+#include "attack/reidentification.h"
+#include "aut/orbits.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/str.h"
+#include "common/timer.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+#include "ksym/anonymizer.h"
+#include "ksym/minimal.h"
+#include "ksym/release_io.h"
+#include "ksym/sampling.h"
+#include "ksym/sharded_anonymizer.h"
+#include "shard/manifest.h"
+#include "shard/sharded_graph.h"
+
+namespace ksym {
+namespace serve {
+namespace {
+
+/// A resolved whole-graph input: either a cache pin or a locally loaded
+/// graph, plus the load mode for the log line. Accessed through graph()
+/// so the struct stays safely movable (no self-pointers).
+struct ResolvedGraph {
+  std::shared_ptr<const MappedCsrGraph> pinned;  // Cache hit path.
+  AutoLoadedGraph owned;                         // Direct load path.
+  const char* mode = "text";
+
+  const Graph& graph() const {
+    return pinned != nullptr ? pinned->graph : owned.graph;
+  }
+};
+
+Result<ResolvedGraph> ResolveGraph(const std::string& path,
+                                   GraphCache* cache) {
+  ResolvedGraph resolved;
+  if (cache != nullptr && IsCsrFile(path)) {
+    bool hit = false;
+    KSYM_ASSIGN_OR_RETURN(resolved.pinned, cache->GetGraph(path, &hit));
+    resolved.mode = hit ? "binary csr, cached" : "binary csr, mmap";
+    return resolved;
+  }
+  if (cache != nullptr) cache->RecordBypass();
+  KSYM_ASSIGN_OR_RETURN(resolved.owned, ReadGraphAuto(path));
+  resolved.mode = resolved.owned.binary ? "binary csr, mmap" : "text";
+  return resolved;
+}
+
+/// A resolved release input, same shape.
+struct ResolvedRelease {
+  std::shared_ptr<const ReleaseTriple> pinned;
+  ReleaseTriple owned;
+  const char* mode = "direct";
+
+  const ReleaseTriple& release() const {
+    return pinned != nullptr ? *pinned : owned;
+  }
+};
+
+Result<ResolvedRelease> ResolveRelease(const std::string& path,
+                                       GraphCache* cache) {
+  ResolvedRelease resolved;
+  if (cache != nullptr && IsCsrFile(path)) {
+    bool hit = false;
+    KSYM_ASSIGN_OR_RETURN(resolved.pinned, cache->GetRelease(path, &hit));
+    resolved.mode = hit ? "binary csr, cached" : "binary csr";
+    return resolved;
+  }
+  if (cache != nullptr) cache->RecordBypass();
+  KSYM_ASSIGN_OR_RETURN(resolved.owned, ReadReleaseAuto(path));
+  return resolved;
+}
+
+void AppendPhaseStats(const RefinementStats& refinement, uint32_t threads,
+                      std::string& log) {
+  log += StrFormat(
+      "phases (threads=%u): partition %.1f ms (refine %.1f ms, "
+      "%llu refine calls, %llu cells split), copy %.1f ms\n",
+      threads, refinement.partition_seconds * 1e3,
+      refinement.refine_seconds * 1e3,
+      static_cast<unsigned long long>(refinement.refine_calls),
+      static_cast<unsigned long long>(refinement.cells_split),
+      refinement.copy_seconds * 1e3);
+}
+
+void AppendResidencyStats(const ShardResidencyStats& stats,
+                          std::string& log) {
+  log += StrFormat(
+      "residency: %llu loads, %llu hits, %llu evictions, "
+      "peak resident %zu bytes\n",
+      static_cast<unsigned long long>(stats.loads),
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.evictions),
+      stats.peak_resident_bytes);
+}
+
+Result<Response> RunAnonymizeSharded(const AnonymizeRequest& request,
+                                     GraphCache* cache) {
+  if (request.minimal) {
+    return Status::InvalidArgument(
+        "--minimal needs the resident graph; not available in sharded mode");
+  }
+  if (!request.tdv) {
+    return Status::InvalidArgument(
+        "sharded mode requires --tdv (the exact orbit search needs random "
+        "access to the whole graph)");
+  }
+
+  ShardedGraphOptions open_options;
+  if (request.resident_bytes > 0) {
+    open_options.max_resident_bytes = request.resident_bytes;
+  }
+
+  Response response;
+  ExecutionContext context(request.threads);
+  ShardedAnonymizationOptions options;
+  options.k = request.k;
+  options.exclude_hubs_fraction = request.exclude_hubs;
+  options.context = &context;
+  options.output_shards = request.output_shards;
+
+  // ShardedGraph is single-threaded: a cached set serializes concurrent
+  // requests on its mutex for the duration of the computation.
+  std::shared_ptr<CachedShardSet> cached;
+  std::optional<ShardedGraph> opened;
+  ShardedGraph* graph = nullptr;
+  if (cache != nullptr) {
+    bool hit = false;
+    KSYM_ASSIGN_OR_RETURN(
+        cached, cache->GetShardSet(request.input, open_options, &hit));
+    graph = &cached->graph;
+    response.log += StrFormat("shard set %s\n", hit ? "cached" : "opened");
+  } else {
+    auto result = ShardedGraph::Open(request.input, open_options);
+    if (!result.ok()) return result.status();
+    opened.emplace(std::move(result).value());
+    graph = &*opened;
+  }
+
+  std::unique_lock<std::mutex> lock;
+  if (cached != nullptr) lock = std::unique_lock<std::mutex>(cached->mu);
+
+  response.report += StrFormat(
+      "opened shard set %s: %zu vertices, %zu edges, %u shards "
+      "[out-of-core]\n",
+      request.input.c_str(), graph->NumVertices(), graph->NumEdges(),
+      graph->NumShards());
+
+  Timer timer;
+  KSYM_ASSIGN_OR_RETURN(const ShardedAnonymizationResult result,
+                        AnonymizeSharded(*graph, options, request.output));
+  response.report += StrFormat(
+      "anonymized to k=%u: +%zu vertices, +%zu edges, "
+      "%zu copy operations, %zu hub orbits excluded\n",
+      request.k, result.vertices_added, result.edges_added,
+      result.copy_operations, result.orbits_excluded);
+  response.log += StrFormat("anonymize %.1f ms\n", timer.ElapsedMillis());
+  AppendPhaseStats(result.refinement, context.threads(), response.log);
+  AppendResidencyStats(result.residency, response.log);
+  response.report += StrFormat(
+      "wrote %zu-vertex release as %zu shards to %s.manifest\n",
+      result.released_vertices, result.manifest.NumShards(),
+      request.output.c_str());
+  return response;
+}
+
+}  // namespace
+
+Result<Response> RunAnonymize(const AnonymizeRequest& request,
+                              GraphCache* cache) {
+  if (request.input.empty() || request.output.empty()) {
+    return Status::InvalidArgument("--input and --output are required");
+  }
+  if (request.k < 1) {
+    return Status::InvalidArgument("--k must be at least 1");
+  }
+  if (IsManifestFile(request.input)) {
+    return RunAnonymizeSharded(request, cache);
+  }
+
+  Response response;
+  KSYM_ASSIGN_OR_RETURN(const ResolvedGraph input,
+                        ResolveGraph(request.input, cache));
+  const Graph& graph = input.graph();
+  const DegreeStats stats = ComputeDegreeStats(graph);
+  response.report += StrFormat(
+      "loaded %zu vertices, %zu edges (max degree %zu)\n", stats.num_vertices,
+      stats.num_edges, stats.max_degree);
+  response.log += StrFormat("input %s [%s]\n", request.input.c_str(),
+                            input.mode);
+
+  ExecutionContext context(request.threads);
+  AnonymizationOptions options;
+  options.k = request.k;
+  options.use_total_degree_partition = request.tdv;
+  options.context = &context;
+  if (request.exclude_hubs > 0.0) {
+    options.requirement = HubExclusionRequirement(
+        request.k,
+        DegreeThresholdForExcludedFraction(graph, request.exclude_hubs));
+  }
+
+  Timer timer;
+  KSYM_ASSIGN_OR_RETURN(const AnonymizationResult result,
+                        request.minimal
+                            ? AnonymizeMinimalVertices(graph, options)
+                            : Anonymize(graph, options));
+  response.report += StrFormat(
+      "anonymized to k=%u: +%zu vertices, +%zu edges, "
+      "%zu copy operations, %zu hub orbits excluded\n",
+      request.k, result.vertices_added, result.edges_added,
+      result.copy_operations, result.orbits_excluded);
+  response.log += StrFormat("anonymize %.1f ms\n", timer.ElapsedMillis());
+  AppendPhaseStats(result.refinement, context.threads(), response.log);
+
+  const ReleaseTriple release = MakeReleaseTriple(result);
+  KSYM_RETURN_IF_ERROR(request.binary
+                           ? WriteReleaseCsrFile(release, request.output)
+                           : WriteReleaseFile(release, request.output));
+  response.report += StrFormat("wrote release %s to %s\n",
+                               request.binary ? "(binary csr)" : "triple",
+                               request.output.c_str());
+  return response;
+}
+
+Result<Response> RunAudit(const AuditRequest& request, GraphCache* cache) {
+  if (request.input.empty()) {
+    return Status::InvalidArgument("--input is required");
+  }
+
+  Response response;
+  KSYM_ASSIGN_OR_RETURN(const ResolvedGraph input,
+                        ResolveGraph(request.input, cache));
+  const Graph& graph = input.graph();
+  response.log += StrFormat("input %s [%s]\n", request.input.c_str(),
+                            input.mode);
+  const DegreeStats stats = ComputeDegreeStats(graph);
+  response.report += StrFormat(
+      "graph: %zu vertices, %zu edges, degree %zu..%zu (avg %.2f)\n",
+      stats.num_vertices, stats.num_edges, stats.min_degree, stats.max_degree,
+      stats.average_degree);
+
+  Timer timer;
+  ExecutionContext context(request.threads);
+  const VertexPartition orbits =
+      request.tdv ? ComputeTotalDegreePartition(graph, &context)
+                  : ComputeAutomorphismPartition(graph, {}, &context);
+  response.report += StrFormat(
+      "%s partition: %zu cells, %zu singletons%s\n",
+      request.tdv ? "TDV" : "orbit", orbits.NumCells(), orbits.NumSingletons(),
+      request.tdv ? "  [upper approximation of Orb(G)]" : "");
+  response.log += StrFormat("partition %.1f ms (threads=%u)\n",
+                            timer.ElapsedMillis(), context.threads());
+
+  size_t under_k = 0;
+  size_t min_cell = graph.NumVertices();
+  for (const auto& cell : orbits.cells) {
+    if (cell.size() < request.k) under_k += cell.size();
+    if (cell.size() < min_cell) min_cell = cell.size();
+  }
+  response.report += StrFormat(
+      "k=%u symmetry: %s (minimum cell size %zu; %zu vertices in "
+      "cells below k)\n",
+      request.k, under_k == 0 ? "SATISFIED" : "NOT satisfied", min_cell,
+      under_k);
+
+  response.report += StrFormat("\n%-20s %10s %12s %8s %8s\n", "measure",
+                               "unique", "under-k", "r_f", "s_f");
+  for (const auto& measure :
+       {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
+        NeighborhoodMeasure(), CombinedMeasure()}) {
+    const VertexPartition cells = PartitionByMeasure(graph, measure);
+    size_t exposed = 0;
+    for (const auto& cell : cells.cells) {
+      if (cell.size() < request.k) exposed += cell.size();
+    }
+    const ReidentificationStats r = CompareToOrbits(cells, orbits);
+    response.report += StrFormat("%-20s %10zu %12zu %8.3f %8.3f\n",
+                                 measure.name.c_str(), r.measure_singletons,
+                                 exposed, r.r_f, r.s_f);
+  }
+  return response;
+}
+
+namespace {
+
+/// Writes one drawn sample set to disk and assembles the per-request
+/// report — the tail shared by RunSample and RunSampleBatch.
+Result<Response> FinishSampleResponse(const SampleRequest& request,
+                                      const ReleaseTriple& release,
+                                      const std::vector<Graph>& samples,
+                                      const char* mode, double elapsed_ms,
+                                      uint32_t threads) {
+  Response response;
+  response.log += StrFormat("release %s [%s]\n", request.release.c_str(),
+                            mode);
+  response.report += StrFormat(
+      "release: %zu vertices, %zu edges, %zu cells, n=%zu\n",
+      release.graph.NumVertices(), release.graph.NumEdges(),
+      release.partition.cells.size(), release.original_vertices);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Graph& sample = samples[i];
+    const std::string path = request.output_prefix + "." +
+                             std::to_string(i) +
+                             (request.binary ? ".ksymcsr" : ".edges");
+    KSYM_RETURN_IF_ERROR(request.binary
+                             ? WriteCsrFile(sample, {}, path)
+                             : WriteEdgeListFile(sample, path));
+    const DegreeStats stats = ComputeDegreeStats(sample);
+    response.report += StrFormat("  %s: %zu vertices, %zu edges\n",
+                                 path.c_str(), stats.num_vertices,
+                                 stats.num_edges);
+  }
+  response.report += StrFormat("wrote %zu %s samples\n", samples.size(),
+                               request.exact ? "exact" : "approximate");
+  response.log += StrFormat("sampling %.1f ms (threads=%u)\n", elapsed_ms,
+                            threads);
+  return response;
+}
+
+Status ValidateSampleRequest(const SampleRequest& request) {
+  if (request.release.empty() || request.output_prefix.empty()) {
+    return Status::InvalidArgument(
+        "--release and --output-prefix are required");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Response> RunSample(const SampleRequest& request, GraphCache* cache) {
+  KSYM_RETURN_IF_ERROR(ValidateSampleRequest(request));
+  KSYM_ASSIGN_OR_RETURN(const ResolvedRelease resolved,
+                        ResolveRelease(request.release, cache));
+  const ReleaseTriple& release = resolved.release();
+
+  const Rng rng(request.seed);
+  ExecutionContext context(request.threads);
+  Timer timer;
+  BatchSampleOptions batch;
+  batch.num_samples = static_cast<size_t>(request.samples);
+  batch.target_vertices = release.original_vertices;
+  batch.exact = request.exact;
+  batch.context = &context;
+  KSYM_ASSIGN_OR_RETURN(
+      const std::vector<Graph> samples,
+      DrawSamples(release.graph, release.partition, batch, rng));
+  return FinishSampleResponse(request, release, samples, resolved.mode,
+                              timer.ElapsedMillis(), context.threads());
+}
+
+std::vector<Result<Response>> RunSampleBatch(
+    const std::vector<SampleRequest>& requests, GraphCache* cache,
+    uint32_t threads) {
+  // Every slot is overwritten below; the placeholder only exists because
+  // Result has no default constructor.
+  std::vector<Result<Response>> responses(
+      requests.size(), Status::Internal("batch slot not filled"));
+
+  // Resolve every request's release and default weights up front. Weights
+  // are per-release state: DrawSamples computes SizeAwareCellWeights once
+  // per call, so the flat sweep must share one vector per request too.
+  struct Prepared {
+    ResolvedRelease resolved;
+    std::vector<double> weights;
+    std::vector<Graph> samples;
+    Status failure = Status::Ok();
+    bool ok = false;
+  };
+  std::vector<Prepared> prepared(requests.size());
+  struct Job {
+    size_t request_index;
+    size_t sample_index;
+  };
+  std::vector<Job> jobs;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const Status valid = ValidateSampleRequest(requests[r]);
+    if (!valid.ok()) {
+      responses[r] = valid;
+      continue;
+    }
+    auto resolved = ResolveRelease(requests[r].release, cache);
+    if (!resolved.ok()) {
+      responses[r] = resolved.status();
+      continue;
+    }
+    prepared[r].resolved = std::move(resolved).value();
+    const ReleaseTriple& release = prepared[r].resolved.release();
+    prepared[r].weights =
+        SizeAwareCellWeights(release.graph, release.partition);
+    prepared[r].samples.resize(static_cast<size_t>(requests[r].samples));
+    prepared[r].ok = true;
+    for (uint64_t i = 0; i < requests[r].samples; ++i) {
+      jobs.push_back(Job{r, static_cast<size_t>(i)});
+    }
+  }
+
+  // One flat sweep over every (request, sample) pair. Pair (r, i) depends
+  // only on Rng(seed_r).Fork(i) — exactly the stream DrawSamples hands
+  // sample i — so the interleaving (and the batch's composition) cannot
+  // change any output.
+  ExecutionContext context(threads);
+  Timer timer;
+  std::vector<Status> job_status(jobs.size());
+  ParallelFor(context.pool(), jobs.size(),
+              [&](size_t begin, size_t end, uint32_t) {
+                for (size_t j = begin; j < end; ++j) {
+                  const Job& job = jobs[j];
+                  const SampleRequest& request = requests[job.request_index];
+                  Prepared& prep = prepared[job.request_index];
+                  const ReleaseTriple& release = prep.resolved.release();
+                  Rng sample_rng = Rng(request.seed).Fork(job.sample_index);
+                  auto sample =
+                      request.exact
+                          ? ExactBackboneSample(
+                                release.graph, release.partition,
+                                release.original_vertices, sample_rng,
+                                &prep.weights, nullptr)
+                          : ApproximateBackboneSample(
+                                release.graph, release.partition,
+                                release.original_vertices, sample_rng,
+                                &prep.weights, nullptr);
+                  if (sample.ok()) {
+                    prep.samples[job.sample_index] =
+                        std::move(sample).value();
+                  } else {
+                    job_status[j] = sample.status();
+                  }
+                }
+              });
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (!job_status[j].ok()) {
+      prepared[jobs[j].request_index].failure = job_status[j];
+    }
+  }
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (!prepared[r].ok) continue;  // Already failed at resolve time.
+    if (!prepared[r].failure.ok()) {
+      responses[r] = prepared[r].failure;
+      continue;
+    }
+    responses[r] = FinishSampleResponse(
+        requests[r], prepared[r].resolved.release(), prepared[r].samples,
+        prepared[r].resolved.mode, elapsed_ms, context.threads());
+  }
+  return responses;
+}
+
+// ---------------------------------------------------------------------------
+// Wire decoding.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Checks that `object` holds no keys outside `allowed` (plus the framing
+/// keys every request may carry).
+Status CheckKeys(const WireObject& object,
+                 std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : object.fields) {
+    if (key == "op" || key == "id" || key == "deadline_ms") continue;
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          StrFormat("unknown request field \"%s\"", key.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<AnonymizeRequest> AnonymizeRequestFromWire(const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(CheckKeys(
+      object, {"input", "output", "k", "exclude_hubs", "minimal", "tdv",
+               "binary", "threads", "resident_bytes", "output_shards"}));
+  AnonymizeRequest request;
+  request.input = object.GetString("input");
+  request.output = object.GetString("output");
+  request.k = static_cast<uint32_t>(object.GetUint("k", request.k));
+  request.exclude_hubs = object.GetDouble("exclude_hubs", 0.0);
+  request.minimal = object.GetBool("minimal", false);
+  request.tdv = object.GetBool("tdv", false);
+  request.binary = object.GetBool("binary", false);
+  request.threads =
+      static_cast<uint32_t>(object.GetUint("threads", request.threads));
+  request.resident_bytes =
+      static_cast<size_t>(object.GetUint("resident_bytes", 0));
+  request.output_shards =
+      static_cast<uint32_t>(object.GetUint("output_shards", 0));
+  return request;
+}
+
+Result<AuditRequest> AuditRequestFromWire(const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(
+      CheckKeys(object, {"input", "k", "tdv", "threads"}));
+  AuditRequest request;
+  request.input = object.GetString("input");
+  request.k = static_cast<uint32_t>(object.GetUint("k", request.k));
+  request.tdv = object.GetBool("tdv", false);
+  request.threads =
+      static_cast<uint32_t>(object.GetUint("threads", request.threads));
+  return request;
+}
+
+Result<SampleRequest> SampleRequestFromWire(const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(CheckKeys(
+      object, {"release", "output_prefix", "samples", "exact", "seed",
+               "threads", "binary"}));
+  SampleRequest request;
+  request.release = object.GetString("release");
+  request.output_prefix = object.GetString("output_prefix");
+  request.samples = object.GetUint("samples", request.samples);
+  request.exact = object.GetBool("exact", false);
+  request.seed = object.GetUint("seed", request.seed);
+  request.threads =
+      static_cast<uint32_t>(object.GetUint("threads", request.threads));
+  request.binary = object.GetBool("binary", false);
+  return request;
+}
+
+}  // namespace serve
+}  // namespace ksym

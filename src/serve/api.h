@@ -1,0 +1,105 @@
+// Typed request/response layer shared by ksym_serve and the one-shot CLIs.
+//
+// Each request struct mirrors one tool's flags exactly; a CLI is a thin
+// adapter that parses argv into the struct and calls the Run* function, and
+// the daemon parses the same struct off a wire line. Both paths execute
+// identical code, which is what makes the service's responses
+// byte-comparable to the CLIs' output (the CI smoke test diffs them).
+//
+// Responses split their text into two channels:
+//   * `report` — deterministic facts (counts, verdicts, tables). The CLIs
+//     print it to stdout; the daemon returns it in the "report" field.
+//     Byte-identical across runs, thread counts, and cache states.
+//   * `log`   — timings, load modes, residency. CLIs print it to stderr;
+//     the daemon returns it in "log". Never compared.
+//
+// Every Run* takes an optional GraphCache: the daemon passes its shared
+// cache (binary inputs are keyed by header checksum and served from memory
+// on repeat requests), the CLIs pass nullptr and load from disk.
+
+#ifndef KSYM_SERVE_API_H_
+#define KSYM_SERVE_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/cache.h"
+#include "serve/wire.h"
+
+namespace ksym {
+namespace serve {
+
+/// Mirrors ksym_anonymize: text/binary/manifest input by magic, release
+/// triple (or binary CSR, or shard set) out.
+struct AnonymizeRequest {
+  std::string input;
+  std::string output;
+  uint32_t k = 2;
+  double exclude_hubs = 0.0;
+  bool minimal = false;
+  bool tdv = false;
+  bool binary = false;
+  uint32_t threads = 1;
+  size_t resident_bytes = 0;   // Sharded input: residency cap (0 = default).
+  uint32_t output_shards = 0;  // Sharded input: output shard count.
+};
+
+/// Mirrors ksym_audit.
+struct AuditRequest {
+  std::string input;
+  uint32_t k = 5;
+  bool tdv = false;
+  uint32_t threads = 1;
+};
+
+/// Mirrors ksym_sample.
+struct SampleRequest {
+  std::string release;
+  std::string output_prefix;
+  uint64_t samples = 10;
+  bool exact = false;
+  uint64_t seed = 42;
+  uint32_t threads = 1;
+  bool binary = false;
+};
+
+struct Response {
+  std::string report;
+  std::string log;
+};
+
+Result<Response> RunAnonymize(const AnonymizeRequest& request,
+                              GraphCache* cache = nullptr);
+Result<Response> RunAudit(const AuditRequest& request,
+                          GraphCache* cache = nullptr);
+Result<Response> RunSample(const SampleRequest& request,
+                           GraphCache* cache = nullptr);
+
+/// Executes several sample requests as one batch: per-request releases are
+/// resolved (through the cache when given), then every (request, sample)
+/// pair is drawn in one flat deterministic sweep. Sample i of request r
+/// depends only on Rng(r.seed).Fork(i) — the same stream split DrawSamples
+/// uses — so each response is bit-identical to RunSample of that request
+/// alone, whatever was batched alongside (pinned by serve_test).
+/// `threads` is the batch-wide worker count (the per-request `threads`
+/// fields are ignored; they cannot change the results). The returned vector
+/// is index-aligned with `requests`.
+std::vector<Result<Response>> RunSampleBatch(
+    const std::vector<SampleRequest>& requests, GraphCache* cache = nullptr,
+    uint32_t threads = 1);
+
+// ---------------------------------------------------------------------------
+// Wire decoding (daemon side). Unknown keys are rejected — a typo'd flag
+// must not silently become a default.
+// ---------------------------------------------------------------------------
+
+Result<AnonymizeRequest> AnonymizeRequestFromWire(const WireObject& object);
+Result<AuditRequest> AuditRequestFromWire(const WireObject& object);
+Result<SampleRequest> SampleRequestFromWire(const WireObject& object);
+
+}  // namespace serve
+}  // namespace ksym
+
+#endif  // KSYM_SERVE_API_H_

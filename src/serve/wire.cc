@@ -1,0 +1,328 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/str.h"
+
+namespace ksym {
+namespace serve {
+namespace {
+
+Status ParseError(size_t offset, const std::string& what) {
+  return Status::InvalidArgument(
+      StrFormat("wire parse error at byte %zu: %s", offset, what.c_str()));
+}
+
+/// Cursor over the line with bounds-checked access.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Take() { return AtEnd() ? '\0' : text_[pos_++]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+
+  bool TryTake(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<std::string> ParseString(Cursor& cur) {
+  if (!cur.TryTake('"')) return ParseError(cur.pos(), "expected '\"'");
+  std::string out;
+  while (true) {
+    if (cur.AtEnd()) return ParseError(cur.pos(), "unterminated string");
+    const char c = cur.Take();
+    if (c == '"') return out;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return ParseError(cur.pos() - 1, "raw control byte in string");
+    }
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (cur.AtEnd()) return ParseError(cur.pos(), "unterminated escape");
+    const char e = cur.Take();
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cur.Take();
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            return ParseError(cur.pos() - 1, "bad \\u escape digit");
+          }
+        }
+        // Encode as UTF-8; surrogate pairs are not needed for anything the
+        // service exchanges and are rejected to keep round trips exact.
+        if (code >= 0xD800 && code <= 0xDFFF) {
+          return ParseError(cur.pos() - 6, "surrogate \\u escape unsupported");
+        }
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return ParseError(cur.pos() - 1,
+                          StrFormat("unknown escape '\\%c'", e));
+    }
+  }
+}
+
+Result<WireValue> ParseNumber(Cursor& cur) {
+  const size_t start = cur.pos();
+  std::string text;
+  const bool negative = cur.TryTake('-');
+  if (negative) text.push_back('-');
+  bool is_double = false;
+  if (!std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+    return ParseError(cur.pos(), "expected digit");
+  }
+  while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+    text.push_back(cur.Take());
+  }
+  if (cur.Peek() == '.') {
+    is_double = true;
+    text.push_back(cur.Take());
+    if (!std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+      return ParseError(cur.pos(), "expected fraction digit");
+    }
+    while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+      text.push_back(cur.Take());
+    }
+  }
+  if (cur.Peek() == 'e' || cur.Peek() == 'E') {
+    is_double = true;
+    text.push_back(cur.Take());
+    if (cur.Peek() == '+' || cur.Peek() == '-') text.push_back(cur.Take());
+    if (!std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+      return ParseError(cur.pos(), "expected exponent digit");
+    }
+    while (std::isdigit(static_cast<unsigned char>(cur.Peek()))) {
+      text.push_back(cur.Take());
+    }
+  }
+  if (is_double) {
+    double d = 0.0;
+    if (!ParseDouble(text, &d) || !std::isfinite(d)) {
+      return ParseError(start, "unparseable number");
+    }
+    return WireValue::Double(d);
+  }
+  if (negative) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return ParseError(start, "integer out of range");
+    }
+    return WireValue::Int(v);
+  }
+  uint64_t u = 0;
+  if (!ParseUint64(text, &u)) return ParseError(start, "integer out of range");
+  return WireValue::Uint(u);
+}
+
+Result<WireValue> ParseValue(Cursor& cur) {
+  const char c = cur.Peek();
+  if (c == '"') {
+    KSYM_ASSIGN_OR_RETURN(std::string s, ParseString(cur));
+    return WireValue::String(std::move(s));
+  }
+  if (c == 't') {
+    for (const char expect : {'t', 'r', 'u', 'e'}) {
+      if (!cur.TryTake(expect)) return ParseError(cur.pos(), "bad literal");
+    }
+    return WireValue::Bool(true);
+  }
+  if (c == 'f') {
+    for (const char expect : {'f', 'a', 'l', 's', 'e'}) {
+      if (!cur.TryTake(expect)) return ParseError(cur.pos(), "bad literal");
+    }
+    return WireValue::Bool(false);
+  }
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+    return ParseNumber(cur);
+  }
+  return ParseError(cur.pos(), "expected value");
+}
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void WireObject::Set(std::string_view key, WireValue value) {
+  for (auto& [k, v] : fields) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields.emplace_back(std::string(key), std::move(value));
+}
+
+const WireValue* WireObject::Find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string WireObject::GetString(std::string_view key,
+                                  std::string_view fallback) const {
+  const WireValue* v = Find(key);
+  if (v == nullptr || v->kind != WireValue::Kind::kString) {
+    return std::string(fallback);
+  }
+  return v->str;
+}
+
+uint64_t WireObject::GetUint(std::string_view key, uint64_t fallback) const {
+  const WireValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind == WireValue::Kind::kUint) return v->u;
+  if (v->kind == WireValue::Kind::kInt && v->i >= 0) {
+    return static_cast<uint64_t>(v->i);
+  }
+  return fallback;
+}
+
+double WireObject::GetDouble(std::string_view key, double fallback) const {
+  const WireValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  switch (v->kind) {
+    case WireValue::Kind::kDouble: return v->d;
+    case WireValue::Kind::kUint: return static_cast<double>(v->u);
+    case WireValue::Kind::kInt: return static_cast<double>(v->i);
+    default: return fallback;
+  }
+}
+
+bool WireObject::GetBool(std::string_view key, bool fallback) const {
+  const WireValue* v = Find(key);
+  if (v == nullptr || v->kind != WireValue::Kind::kBool) return fallback;
+  return v->b;
+}
+
+Result<WireObject> ParseWireLine(std::string_view line) {
+  // Tolerate the transport's trailing newline.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  Cursor cur(line);
+  cur.SkipSpace();
+  if (!cur.TryTake('{')) return ParseError(cur.pos(), "expected '{'");
+  WireObject object;
+  cur.SkipSpace();
+  if (!cur.TryTake('}')) {
+    while (true) {
+      cur.SkipSpace();
+      KSYM_ASSIGN_OR_RETURN(std::string key, ParseString(cur));
+      if (object.Has(key)) {
+        return ParseError(cur.pos(),
+                          StrFormat("duplicate key \"%s\"", key.c_str()));
+      }
+      cur.SkipSpace();
+      if (!cur.TryTake(':')) return ParseError(cur.pos(), "expected ':'");
+      cur.SkipSpace();
+      KSYM_ASSIGN_OR_RETURN(WireValue value, ParseValue(cur));
+      object.fields.emplace_back(std::move(key), std::move(value));
+      cur.SkipSpace();
+      if (cur.TryTake(',')) continue;
+      if (cur.TryTake('}')) break;
+      return ParseError(cur.pos(), "expected ',' or '}'");
+    }
+  }
+  cur.SkipSpace();
+  if (!cur.AtEnd()) return ParseError(cur.pos(), "trailing bytes after '}'");
+  return object;
+}
+
+std::string SerializeWireLine(const WireObject& object) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : object.fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscaped(key, out);
+    out.push_back(':');
+    switch (value.kind) {
+      case WireValue::Kind::kString:
+        AppendEscaped(value.str, out);
+        break;
+      case WireValue::Kind::kUint:
+        out += StrFormat("%llu", static_cast<unsigned long long>(value.u));
+        break;
+      case WireValue::Kind::kInt:
+        out += StrFormat("%lld", static_cast<long long>(value.i));
+        break;
+      case WireValue::Kind::kDouble:
+        out += StrFormat("%.17g", value.d);
+        break;
+      case WireValue::Kind::kBool:
+        out += value.b ? "true" : "false";
+        break;
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace serve
+}  // namespace ksym

@@ -108,7 +108,7 @@ TEST(MeasuresTest, MeasurePartitionsAreCoarserThanOrbits) {
   // Theory: Orb(v) is contained in every candidate set, so every measure
   // partition is coarser than Orb(G).
   const Graph g = Figure1Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   for (const auto& measure :
        {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
         NeighborhoodMeasure(), CombinedMeasure()}) {
@@ -134,7 +134,7 @@ TEST(MeasuresTest, CandidateSetExample1) {
 
 TEST(ReidentificationTest, PerfectMeasureScoresOne) {
   const Graph g = Figure1Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   const ReidentificationStats stats = CompareToOrbits(orbits, orbits);
   EXPECT_DOUBLE_EQ(stats.r_f, 1.0);
   EXPECT_DOUBLE_EQ(stats.s_f, 1.0);
@@ -143,7 +143,7 @@ TEST(ReidentificationTest, PerfectMeasureScoresOne) {
 TEST(ReidentificationTest, WeakMeasureScoresLow) {
   // The unit partition has no singletons and maximal pair count.
   const Graph g = Figure1Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   const VertexPartition unit = VertexPartition::FromCells(
       g.NumVertices(), {{0, 1, 2, 3, 4, 5, 6, 7}});
   const ReidentificationStats stats = CompareToOrbits(unit, orbits);
@@ -154,7 +154,7 @@ TEST(ReidentificationTest, WeakMeasureScoresLow) {
 TEST(ReidentificationTest, StatsAreInUnitInterval) {
   Rng rng(127);
   const Graph g = ErdosRenyiGnm(50, 90, rng);
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   for (const auto& measure :
        {DegreeMeasure(), TriangleMeasure(), CombinedMeasure()}) {
     const ReidentificationStats stats = EvaluateMeasure(g, measure, orbits);
@@ -170,7 +170,7 @@ TEST(ReidentificationTest, CombinedDominatesSingleMeasures) {
   // re-identification power.
   Rng rng(131);
   const Graph g = BarabasiAlbert(80, 2, rng);
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   const auto deg = EvaluateMeasure(g, DegreeMeasure(), orbits);
   const auto tri = EvaluateMeasure(g, TriangleMeasure(), orbits);
   const auto combined = EvaluateMeasure(g, CombinedMeasure(), orbits);

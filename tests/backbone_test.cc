@@ -29,8 +29,8 @@ TEST(BackboneTest, StarCollapsesToSingleEdge) {
   // All leaves are mutual orbit-copies: the backbone of a star under
   // Orb(G) is one hub plus one leaf.
   const Graph star = MakeStar(8);
-  const VertexPartition orbits = ComputeAutomorphismPartition(star);
-  const BackboneResult backbone = ComputeBackbone(star, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star, {}, nullptr);
+  const BackboneResult backbone = ComputeBackbone(star, orbits, nullptr);
   EXPECT_EQ(backbone.graph.NumVertices(), 2u);
   EXPECT_EQ(backbone.graph.NumEdges(), 1u);
   EXPECT_EQ(backbone.removed_vertices, 6u);
@@ -40,8 +40,8 @@ TEST(BackboneTest, RigidGraphIsItsOwnBackbone) {
   // A path has orbits {ends}, {next-to-ends}, ...; the two ends are NOT
   // L(V)-copies (different external neighbours), so nothing reduces.
   const Graph p5 = MakePath(5);
-  const VertexPartition orbits = ComputeAutomorphismPartition(p5);
-  const BackboneResult backbone = ComputeBackbone(p5, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(p5, {}, nullptr);
+  const BackboneResult backbone = ComputeBackbone(p5, orbits, nullptr);
   EXPECT_EQ(backbone.graph.NumVertices(), 5u);
   EXPECT_EQ(backbone.removed_vertices, 0u);
 }
@@ -55,8 +55,8 @@ TEST(BackboneTest, Figure7aComponentsWithSharedNeighborsReduce) {
   b.AddEdge(2, 3);  // Tail of length 2 keeps 3 out of the pendant orbit.
   b.AddEdge(3, 4);
   const Graph g = b.Build();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
-  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
+  const BackboneResult backbone = ComputeBackbone(g, orbits, nullptr);
   EXPECT_EQ(backbone.removed_vertices, 1u);
   EXPECT_EQ(backbone.graph.NumVertices(), 4u);  // The path 0-2-3-4.
 }
@@ -71,17 +71,17 @@ TEST(BackboneTest, Figure7bComponentsWithDisjointNeighborsDoNot) {
   b.AddEdge(1, 3);  // Connect the two hubs: path 0-1-3-2.
   const Graph g = b.Build();
   // Orbits: {0, 2} (pendants), {1, 3}.
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   ASSERT_EQ(orbits.NumCells(), 2u);
-  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  const BackboneResult backbone = ComputeBackbone(g, orbits, nullptr);
   EXPECT_EQ(backbone.removed_vertices, 0u);
 }
 
 TEST(BackboneTest, AnonymizedGraphReducesToOriginalBackbone) {
   // Theorem 4: orbit copying preserves the backbone. B(G') == B(G).
   const Graph g = Figure3Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
-  const BackboneResult original_backbone = ComputeBackbone(g, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
+  const BackboneResult original_backbone = ComputeBackbone(g, orbits, nullptr);
 
   for (uint32_t k : {2u, 3u, 5u}) {
     AnonymizationOptions options;
@@ -89,7 +89,7 @@ TEST(BackboneTest, AnonymizedGraphReducesToOriginalBackbone) {
     const auto anonymized = Anonymize(g, options);
     ASSERT_TRUE(anonymized.ok());
     const BackboneResult backbone =
-        ComputeBackbone(anonymized->graph, anonymized->partition);
+        ComputeBackbone(anonymized->graph, anonymized->partition, nullptr);
     EXPECT_TRUE(AreIsomorphic(backbone.graph, original_backbone.graph))
         << "k=" << k;
   }
@@ -97,8 +97,8 @@ TEST(BackboneTest, AnonymizedGraphReducesToOriginalBackbone) {
 
 TEST(BackboneTest, PartitionRestrictedConsistently) {
   const Graph star = MakeStar(6);
-  const VertexPartition orbits = ComputeAutomorphismPartition(star);
-  const BackboneResult backbone = ComputeBackbone(star, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star, {}, nullptr);
+  const BackboneResult backbone = ComputeBackbone(star, orbits, nullptr);
   EXPECT_EQ(backbone.partition.cells.size(), 2u);
   EXPECT_EQ(backbone.kept.size(), backbone.graph.NumVertices());
   // kept maps backbone ids to original ids; cell structure matches.
@@ -128,8 +128,8 @@ TEST(BackboneTest, MultiOrbitSubstructuresDoNotReduce) {
   b.AddEdge(0, 5);
   b.AddEdge(5, 6);
   const Graph g = b.Build();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
-  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
+  const BackboneResult backbone = ComputeBackbone(g, orbits, nullptr);
   EXPECT_EQ(backbone.removed_vertices, 1u);     // One of the two leaves.
   EXPECT_EQ(backbone.graph.NumVertices(), 6u);  // Both arms preserved.
 }
@@ -137,12 +137,12 @@ TEST(BackboneTest, MultiOrbitSubstructuresDoNotReduce) {
 TEST(BackboneTest, EmptyAndTrivialInputs) {
   const Graph empty(0);
   const BackboneResult backbone =
-      ComputeBackbone(empty, VertexPartition::FromCells(0, {}));
+      ComputeBackbone(empty, VertexPartition::FromCells(0, {}), nullptr);
   EXPECT_EQ(backbone.graph.NumVertices(), 0u);
 
   const Graph isolated(3);
-  const VertexPartition orbits = ComputeAutomorphismPartition(isolated);
-  const BackboneResult b2 = ComputeBackbone(isolated, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(isolated, {}, nullptr);
+  const BackboneResult b2 = ComputeBackbone(isolated, orbits, nullptr);
   EXPECT_EQ(b2.graph.NumVertices(), 1u);  // Three copies of one vertex.
 }
 

@@ -142,8 +142,8 @@ TEST(IsomorphismTest, RookVsShrikhandeStronglyRegularPair) {
   const Graph shrikhande = MakeShrikhande();
   ASSERT_EQ(rook.NumEdges(), 48u);
   ASSERT_EQ(shrikhande.NumEdges(), 48u);
-  EXPECT_EQ(EquitablePartition(rook).size(), 1u);
-  EXPECT_EQ(EquitablePartition(shrikhande).size(), 1u);
+  EXPECT_EQ(EquitablePartition(rook, {}).size(), 1u);
+  EXPECT_EQ(EquitablePartition(shrikhande, {}).size(), 1u);
   EXPECT_FALSE(AreIsomorphic(rook, shrikhande));
   // Both are vertex-transitive and isomorphic to themselves relabelled.
   EXPECT_TRUE(AreIsomorphic(rook, RandomRelabel(rook, 17)));
@@ -152,9 +152,9 @@ TEST(IsomorphismTest, RookVsShrikhandeStronglyRegularPair) {
 
 TEST(IsomorphismTest, RookAndShrikhandeGroupOrders) {
   // |Aut(rook 4x4)| = 2 * (4!)^2 = 1152; |Aut(Shrikhande)| = 192.
-  const AutomorphismResult rook_aut = ComputeAutomorphisms(MakeRook4x4());
+  const AutomorphismResult rook_aut = ComputeAutomorphisms(MakeRook4x4(), {}, nullptr);
   EXPECT_EQ(GroupOrderFromGenerators(16, rook_aut.generators), 1152.0);
-  const AutomorphismResult shr_aut = ComputeAutomorphisms(MakeShrikhande());
+  const AutomorphismResult shr_aut = ComputeAutomorphisms(MakeShrikhande(), {}, nullptr);
   EXPECT_EQ(GroupOrderFromGenerators(16, shr_aut.generators), 192.0);
 }
 

@@ -21,8 +21,8 @@ namespace {
 TEST(DeterminismTest, OrbitPartitionIsPure) {
   Rng rng(251);
   const Graph g = ErdosRenyiGnm(40, 70, rng);
-  EXPECT_TRUE(ComputeAutomorphismPartition(g) ==
-              ComputeAutomorphismPartition(g));
+  EXPECT_TRUE(ComputeAutomorphismPartition(g, {}, nullptr) ==
+              ComputeAutomorphismPartition(g, {}, nullptr));
 }
 
 TEST(DeterminismTest, CanonicalFormIsPure) {
@@ -47,9 +47,9 @@ TEST(DeterminismTest, AnonymizationIsPure) {
 
 TEST(DeterminismTest, BackboneIsPure) {
   const Graph g = MakeStar(9);
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
-  const BackboneResult a = ComputeBackbone(g, orbits);
-  const BackboneResult b = ComputeBackbone(g, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
+  const BackboneResult a = ComputeBackbone(g, orbits, nullptr);
+  const BackboneResult b = ComputeBackbone(g, orbits, nullptr);
   EXPECT_TRUE(a.graph == b.graph);
   EXPECT_EQ(a.kept, b.kept);
 }

@@ -40,7 +40,7 @@ TEST(ErrorsTest, SamplersRejectMismatchedInputs) {
   EXPECT_FALSE(ExactBackboneSample(g, wrong, 5, rng).ok());
   EXPECT_FALSE(ApproximateBackboneSample(g, wrong, 5, rng).ok());
 
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   const std::vector<double> bad_weights(99, 1.0);
   EXPECT_FALSE(ExactBackboneSample(g, orbits, 5, rng, &bad_weights).ok());
   EXPECT_FALSE(
@@ -49,7 +49,7 @@ TEST(ErrorsTest, SamplersRejectMismatchedInputs) {
 
 TEST(ErrorsTest, SamplerHandlesZeroTarget) {
   const Graph g = MakeCycle(5);
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   Rng rng(2);
   const auto sample = ApproximateBackboneSample(g, orbits, 0, rng);
   ASSERT_TRUE(sample.ok());

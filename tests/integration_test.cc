@@ -92,13 +92,13 @@ TEST(IntegrationTest, ReleaseRoundTripsThroughEdgeListIo) {
 
   // The partition can be recomputed from the loaded graph alone (it need
   // not be transmitted when exactness is affordable).
-  const VertexPartition orbits = ComputeAutomorphismPartition(loaded->graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(loaded->graph, {}, nullptr);
   for (const auto& orbit : orbits.cells) EXPECT_GE(orbit.size(), 4u);
 }
 
 TEST(IntegrationTest, HubExclusionEndToEnd) {
   const Graph original = MakeNetTraceLike();
-  const VertexPartition orbits = ComputeTotalDegreePartition(original);
+  const VertexPartition orbits = ComputeTotalDegreePartition(original, nullptr);
 
   AnonymizationOptions with_hubs;
   with_hubs.k = 5;
@@ -132,15 +132,15 @@ TEST(IntegrationTest, HubExclusionEndToEnd) {
 TEST(IntegrationTest, BackboneOfReleaseMatchesOriginalBackbone) {
   // Theorem 4 at dataset scale (Enron).
   const Graph original = MakeEnronLike();
-  const VertexPartition orbits = ComputeAutomorphismPartition(original);
-  const BackboneResult original_backbone = ComputeBackbone(original, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(original, {}, nullptr);
+  const BackboneResult original_backbone = ComputeBackbone(original, orbits, nullptr);
 
   AnonymizationOptions options;
   options.k = 3;
   const auto release = AnonymizeWithPartition(original, orbits, options);
   ASSERT_TRUE(release.ok());
   const BackboneResult release_backbone =
-      ComputeBackbone(release->graph, release->partition);
+      ComputeBackbone(release->graph, release->partition, nullptr);
   EXPECT_TRUE(
       AreIsomorphic(original_backbone.graph, release_backbone.graph));
 }
@@ -150,7 +150,7 @@ TEST(IntegrationTest, ExactSamplerReproducesOriginalWhenBudgetMatches) {
   // must regrow the backbone to exactly |V(G)| vertices and produce a graph
   // isomorphic to G's backbone regrowth — sanity of the machinery.
   const Graph original = MakeEnronLike();
-  const VertexPartition orbits = ComputeAutomorphismPartition(original);
+  const VertexPartition orbits = ComputeAutomorphismPartition(original, {}, nullptr);
   Rng rng(3);
   SampleStats stats;
   const auto sample = ExactBackboneSample(original, orbits,

@@ -30,7 +30,7 @@ Graph Figure3Graph() {
 }
 
 TEST(OrbitCopyTest, Figure3OrbitsAreAsInThePaper) {
-  const VertexPartition orbits = ComputeAutomorphismPartition(Figure3Graph());
+  const VertexPartition orbits = ComputeAutomorphismPartition(Figure3Graph(), {}, nullptr);
   ASSERT_EQ(orbits.NumCells(), 5u);
   EXPECT_EQ(orbits.cells[0], (std::vector<VertexId>{0, 1}));
   EXPECT_EQ(orbits.cells[1], (std::vector<VertexId>{2}));
@@ -43,7 +43,7 @@ TEST(OrbitCopyTest, CopyingV3MatchesFigure3b) {
   // Copying V3 = {v4, v5} introduces v4', v5' with edges to v3 (external),
   // v6/v7 (external) and the mirrored internal edge v4'-v5'.
   const Graph g = Figure3Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   MutableGraph mg(g);
   TrackedPartition partition(orbits);
   const auto copies = OrbitCopy(mg, partition, 2, orbits.cells[2]);
@@ -72,7 +72,7 @@ TEST(OrbitCopyTest, ResultIsSubAutomorphismPartition) {
   // Lemma 1: after one copy, the augmented partition is a (cell-wise)
   // sub-automorphism partition of the new graph.
   const Graph g = Figure3Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   for (uint32_t cell = 0; cell < orbits.NumCells(); ++cell) {
     MutableGraph mg(g);
     TrackedPartition partition(orbits);
@@ -86,7 +86,7 @@ TEST(OrbitCopyTest, ResultIsSubAutomorphismPartition) {
 TEST(OrbitCopyTest, RepeatedCopiesKeepProperty) {
   // Lemma 2: N copies of the same cell.
   const Graph g = Figure3Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   MutableGraph mg(g);
   TrackedPartition partition(orbits);
   for (int rep = 0; rep < 3; ++rep) {
@@ -101,7 +101,7 @@ TEST(OrbitCopyTest, OrderIndependenceUpToIsomorphism) {
   // Lemma 3: applying the same multiset of copy operations in different
   // orders yields isomorphic graphs.
   const Graph g = Figure3Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
 
   MutableGraph g1(g);
   TrackedPartition p1(orbits);
@@ -121,7 +121,7 @@ TEST(OrbitCopyTest, OrderIndependenceUpToIsomorphism) {
 TEST(OrbitCopyTest, CopyCountsDegreesPreserved) {
   // Every copy has the same degree as its original.
   const Graph g = Figure3Graph();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   MutableGraph mg(g);
   TrackedPartition partition(orbits);
   const auto copies = OrbitCopy(mg, partition, 2, orbits.cells[2]);
@@ -135,7 +135,7 @@ TEST(OrbitCopyTest, SingletonCellCopy) {
   // Copying a singleton orbit duplicates the vertex with its exact
   // neighbourhood (the star-leaf case).
   const Graph star = MakeStar(4);  // Hub 0; leaves 1, 2, 3.
-  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star, {}, nullptr);
   // Orbits: {0}, {1,2,3}.
   MutableGraph mg(star);
   TrackedPartition partition(orbits);
@@ -151,7 +151,7 @@ TEST(OrbitCopyTest, SingletonCellCopy) {
 
 TEST(TrackedPartitionTest, ProvenanceCollapsesToOriginals) {
   const Graph g = MakeStar(3);
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   MutableGraph mg(g);
   TrackedPartition partition(orbits);
   const uint32_t leaf_cell = orbits.cell_of[1];

@@ -44,7 +44,7 @@ TEST(OrbitPartitionTest, FigureOneExample) {
   b.AddEdge(5, 6);  // "6-7".
   b.AddEdge(6, 7);  // "7-8".
   const Graph g = b.Build();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   // Orbits: {0,2}, {1}, {3,4}, {5,7}, {6}.
   EXPECT_EQ(orbits.NumCells(), 5u);
   EXPECT_EQ(orbits.CellSizeOf(0), 2u);
@@ -58,17 +58,17 @@ TEST(OrbitPartitionTest, FigureOneExample) {
 TEST(OrbitPartitionTest, VertexTransitiveGraphsHaveOneOrbit) {
   for (const Graph& g : {MakeCycle(7), MakeComplete(5), MakePetersen(),
                          MakeHypercube(3)}) {
-    const VertexPartition orbits = ComputeAutomorphismPartition(g);
+    const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
     EXPECT_EQ(orbits.NumCells(), 1u);
   }
 }
 
 TEST(OrbitPartitionTest, ColoredOrbitsRefine) {
   const Graph c4 = MakeCycle(4);
-  const VertexPartition plain = ComputeAutomorphismPartition(c4);
+  const VertexPartition plain = ComputeAutomorphismPartition(c4, {}, nullptr);
   EXPECT_EQ(plain.NumCells(), 1u);
   const VertexPartition colored =
-      ComputeAutomorphismPartition(c4, {0, 1, 0, 1});
+      ComputeAutomorphismPartition(c4, {0, 1, 0, 1}, nullptr);
   // Colour-preserving group keeps the two classes apart.
   EXPECT_EQ(colored.NumCells(), 2u);
 }
@@ -78,8 +78,8 @@ TEST(TotalDegreePartitionTest, CoarserOrEqualToOrbits) {
   Rng rng(47);
   for (int trial = 0; trial < 6; ++trial) {
     const Graph g = ErdosRenyiGnm(40, 60, rng);
-    const VertexPartition orbits = ComputeAutomorphismPartition(g);
-    const VertexPartition tdv = ComputeTotalDegreePartition(g);
+    const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
+    const VertexPartition tdv = ComputeTotalDegreePartition(g, nullptr);
     for (const auto& orbit : orbits.cells) {
       const uint32_t cell = tdv.cell_of[orbit.front()];
       for (VertexId v : orbit) EXPECT_EQ(tdv.cell_of[v], cell);
@@ -90,8 +90,8 @@ TEST(TotalDegreePartitionTest, CoarserOrEqualToOrbits) {
 TEST(TotalDegreePartitionTest, EqualsOrbitsOnTrees) {
   // For trees, colour refinement decides isomorphism, so TDV = Orb.
   const Graph t = MakeBalancedTree(2, 3);
-  EXPECT_TRUE(ComputeTotalDegreePartition(t) ==
-              ComputeAutomorphismPartition(t));
+  EXPECT_TRUE(ComputeTotalDegreePartition(t, nullptr) ==
+              ComputeAutomorphismPartition(t, {}, nullptr));
 }
 
 TEST(TotalDegreePartitionTest, StrictlyCoarserOnRegularRigidGraph) {
@@ -105,8 +105,8 @@ TEST(TotalDegreePartitionTest, StrictlyCoarserOnRegularRigidGraph) {
   for (const auto& [u, v] : chords) b.AddEdge(u, v);
   const Graph frucht = b.Build();
   ASSERT_EQ(frucht.NumEdges(), 18u);
-  EXPECT_EQ(ComputeTotalDegreePartition(frucht).NumCells(), 1u);
-  EXPECT_EQ(ComputeAutomorphismPartition(frucht).NumCells(), 12u);
+  EXPECT_EQ(ComputeTotalDegreePartition(frucht, nullptr).NumCells(), 1u);
+  EXPECT_EQ(ComputeAutomorphismPartition(frucht, {}, nullptr).NumCells(), 12u);
 }
 
 }  // namespace

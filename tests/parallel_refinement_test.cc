@@ -134,7 +134,8 @@ TEST(ParallelRefinementTest, EquivalenceWithInitialColors) {
   for (size_t v = 0; v < colors.size(); ++v) {
     colors[v] = static_cast<uint32_t>(v % 3);
   }
-  const auto sequential = EquitablePartition(graph, colors);
+  const auto sequential =
+      EquitablePartition(graph, RefinementOptions{.colors = colors});
   ExecutionContext context = ForcedParallelContext(4);
   const auto parallel = EquitablePartition(
       graph, RefinementOptions{.colors = colors, .context = &context});
@@ -189,9 +190,9 @@ TEST(ParallelRefinementTest, OrbitAndAnonymizePipelinesMatchSequential) {
 
   ExecutionContext context = ForcedParallelContext(4);
   EXPECT_TRUE(ComputeTotalDegreePartition(graph, &context) ==
-              ComputeTotalDegreePartition(graph));
+              ComputeTotalDegreePartition(graph, nullptr));
   EXPECT_TRUE(ComputeAutomorphismPartition(graph, {}, &context) ==
-              ComputeAutomorphismPartition(graph));
+              ComputeAutomorphismPartition(graph, {}, nullptr));
 
   AnonymizationOptions sequential_options;
   sequential_options.k = 3;
@@ -247,15 +248,17 @@ TEST(RefinementStatsTest, CallerContextAccumulatesAcrossCalls) {
   EXPECT_EQ(context.stats().refine_calls, 0u);
 }
 
-TEST(RefinementApiTest, DeprecatedOverloadsDelegate) {
-  // The pre-ExecutionContext signatures must keep returning exactly what
-  // the options-struct entry points return.
+TEST(RefinementApiTest, SingleEntryPointSignatures) {
+  // Each refinement entry point has exactly one public signature (the
+  // options-struct / ExecutionContext form); a null context must be the
+  // sequential policy, not a distinct code path.
   Rng rng(11);
   const Graph graph = ErdosRenyiGnm(150, 300, rng);
-  EXPECT_EQ(EquitablePartition(graph),
-            EquitablePartition(graph, RefinementOptions{}));
-  EXPECT_TRUE(ComputeTotalDegreePartition(graph) ==
-              ComputeTotalDegreePartition(graph, nullptr));
+  ExecutionContext sequential(1);
+  EXPECT_EQ(EquitablePartition(graph, RefinementOptions{}),
+            EquitablePartition(graph, RefinementOptions{.context = &sequential}));
+  EXPECT_TRUE(ComputeTotalDegreePartition(graph, nullptr) ==
+              ComputeTotalDegreePartition(graph, &sequential));
 }
 
 }  // namespace

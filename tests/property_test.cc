@@ -126,8 +126,8 @@ class BackboneProperty : public testing::TestWithParam<const char*> {};
 
 TEST_P(BackboneProperty, CopyingPreservesBackbone) {
   const NamedGraph input = MakeCorpusGraph(GetParam(), 31);
-  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph);
-  const BackboneResult before = ComputeBackbone(input.graph, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph, {}, nullptr);
+  const BackboneResult before = ComputeBackbone(input.graph, orbits, nullptr);
 
   AnonymizationOptions options;
   options.k = 3;
@@ -135,24 +135,24 @@ TEST_P(BackboneProperty, CopyingPreservesBackbone) {
       AnonymizeWithPartition(input.graph, orbits, options);
   ASSERT_TRUE(release.ok());
   const BackboneResult after =
-      ComputeBackbone(release->graph, release->partition);
+      ComputeBackbone(release->graph, release->partition, nullptr);
   EXPECT_TRUE(AreIsomorphic(before.graph, after.graph)) << input.name;
 }
 
 TEST_P(BackboneProperty, BackboneIsAFixpoint) {
   // Reducing the backbone again removes nothing (least element).
   const NamedGraph input = MakeCorpusGraph(GetParam(), 37);
-  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph);
-  const BackboneResult once = ComputeBackbone(input.graph, orbits);
-  const BackboneResult twice = ComputeBackbone(once.graph, once.partition);
+  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph, {}, nullptr);
+  const BackboneResult once = ComputeBackbone(input.graph, orbits, nullptr);
+  const BackboneResult twice = ComputeBackbone(once.graph, once.partition, nullptr);
   EXPECT_EQ(twice.removed_vertices, 0u) << input.name;
   EXPECT_TRUE(twice.graph == once.graph);
 }
 
 TEST_P(BackboneProperty, BackboneIsSubgraphSized) {
   const NamedGraph input = MakeCorpusGraph(GetParam(), 41);
-  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph);
-  const BackboneResult backbone = ComputeBackbone(input.graph, orbits);
+  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph, {}, nullptr);
+  const BackboneResult backbone = ComputeBackbone(input.graph, orbits, nullptr);
   EXPECT_LE(backbone.graph.NumVertices(), input.graph.NumVertices());
   EXPECT_EQ(backbone.graph.NumVertices() + backbone.removed_vertices,
             input.graph.NumVertices());
@@ -171,7 +171,7 @@ TEST_P(KnowledgeProperty, OrbitsLowerBoundEveryCandidateSet) {
   // Orb(v) ⊆ C(P, v) for every implemented measure (the paper's key
   // observation in Section 2.1).
   const NamedGraph input = MakeCorpusGraph(GetParam(), 43);
-  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph, {}, nullptr);
   for (const auto& measure :
        {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
         CombinedMeasure()}) {
@@ -185,8 +185,8 @@ TEST_P(KnowledgeProperty, OrbitsLowerBoundEveryCandidateSet) {
 
 TEST_P(KnowledgeProperty, TdvIsCoarserThanOrbits) {
   const NamedGraph input = MakeCorpusGraph(GetParam(), 47);
-  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph);
-  const VertexPartition tdv = ComputeTotalDegreePartition(input.graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph, {}, nullptr);
+  const VertexPartition tdv = ComputeTotalDegreePartition(input.graph, nullptr);
   for (const auto& orbit : orbits.cells) {
     const uint32_t cell = tdv.cell_of[orbit.front()];
     for (VertexId v : orbit) {
@@ -197,7 +197,7 @@ TEST_P(KnowledgeProperty, TdvIsCoarserThanOrbits) {
 
 TEST_P(KnowledgeProperty, GeneratorsVerifyAndGroupActsWithinOrbits) {
   const NamedGraph input = MakeCorpusGraph(GetParam(), 53);
-  const AutomorphismResult aut = ComputeAutomorphisms(input.graph);
+  const AutomorphismResult aut = ComputeAutomorphisms(input.graph, {}, nullptr);
   for (const Permutation& g : aut.generators) {
     EXPECT_TRUE(IsAutomorphism(input.graph, g)) << input.name;
     for (VertexId v = 0; v < input.graph.NumVertices(); ++v) {
@@ -270,9 +270,9 @@ class SkeletonProperty : public testing::TestWithParam<const char*> {};
 
 TEST_P(SkeletonProperty, QuotientNotLargerThanBackbone) {
   const NamedGraph input = MakeCorpusGraph(GetParam(), 71);
-  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph);
+  const VertexPartition orbits = ComputeAutomorphismPartition(input.graph, {}, nullptr);
   const QuotientResult quotient = ComputeQuotient(input.graph, orbits);
-  const BackboneResult backbone = ComputeBackbone(input.graph, orbits);
+  const BackboneResult backbone = ComputeBackbone(input.graph, orbits, nullptr);
   EXPECT_LE(quotient.graph.NumVertices(), backbone.graph.NumVertices());
   EXPECT_LE(backbone.graph.NumVertices(), input.graph.NumVertices());
   // Quotient has exactly one vertex per orbit.
@@ -343,7 +343,7 @@ TEST_P(GroupOrderProperty, OrderInvariantUnderRelabeling) {
   for (VertexId v = 0; v < perm.size(); ++v) perm[v] = v;
   rng.Shuffle(perm.begin(), perm.end());
   const Graph shuffled = RelabelGraph(graph, perm);
-  const AutomorphismResult aut = ComputeAutomorphisms(shuffled);
+  const AutomorphismResult aut = ComputeAutomorphisms(shuffled, {}, nullptr);
   EXPECT_EQ(GroupOrderFromGenerators(shuffled.NumVertices(), aut.generators),
             expected);
 }

@@ -13,7 +13,7 @@ namespace {
 
 TEST(QuotientTest, VertexTransitiveGraphCollapsesToAPoint) {
   const Graph c6 = MakeCycle(6);
-  const VertexPartition orbits = ComputeAutomorphismPartition(c6);
+  const VertexPartition orbits = ComputeAutomorphismPartition(c6, {}, nullptr);
   const QuotientResult q = ComputeQuotient(c6, orbits);
   EXPECT_EQ(q.graph.NumVertices(), 1u);
   EXPECT_EQ(q.graph.NumEdges(), 0u);
@@ -23,7 +23,7 @@ TEST(QuotientTest, VertexTransitiveGraphCollapsesToAPoint) {
 
 TEST(QuotientTest, StarCollapsesToAnEdge) {
   const Graph star = MakeStar(9);
-  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star, {}, nullptr);
   const QuotientResult q = ComputeQuotient(star, orbits);
   EXPECT_EQ(q.graph.NumVertices(), 2u);
   EXPECT_EQ(q.graph.NumEdges(), 1u);
@@ -43,7 +43,7 @@ TEST(QuotientTest, RigidGraphIsItself) {
   b.AddEdge(4, 5);
   b.AddEdge(5, 6);
   const Graph spider = b.Build();
-  const VertexPartition orbits = ComputeAutomorphismPartition(spider);
+  const VertexPartition orbits = ComputeAutomorphismPartition(spider, {}, nullptr);
   ASSERT_EQ(orbits.NumCells(), 7u);
   const QuotientResult q = ComputeQuotient(spider, orbits);
   EXPECT_EQ(q.graph.NumVertices(), 7u);
@@ -62,7 +62,7 @@ TEST(QuotientTest, Figure6BackboneKeepsModulesQuotientMerges) {
   b.AddEdge(0, 3);
   b.AddEdge(3, 4);
   const Graph g = b.Build();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   ASSERT_EQ(orbits.NumCells(), 3u);
 
   // Quotient: 3 super-vertices — S1 and S2 fused into cell-level path.
@@ -71,7 +71,7 @@ TEST(QuotientTest, Figure6BackboneKeepsModulesQuotientMerges) {
 
   // Backbone: nothing reduces (each arm spans two orbits, and within each
   // orbit the members attach to different parents), so both modules stay.
-  const BackboneResult backbone = ComputeBackbone(g, orbits);
+  const BackboneResult backbone = ComputeBackbone(g, orbits, nullptr);
   EXPECT_EQ(backbone.graph.NumVertices(), 5u);
   EXPECT_GT(backbone.graph.NumVertices(), q.graph.NumVertices());
 }
@@ -89,7 +89,7 @@ TEST(QuotientTest, InternalEdgeFlagTracksInducedEdges) {
   b.AddEdge(5, 7);
   b.AddEdge(6, 7);
   const Graph g = b.Build();
-  const VertexPartition orbits = ComputeAutomorphismPartition(g);
+  const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
   const QuotientResult q = ComputeQuotient(g, orbits);
   EXPECT_TRUE(q.has_internal_edges[orbits.cell_of[3]]);
   EXPECT_FALSE(q.has_internal_edges[orbits.cell_of[0]]);
@@ -99,9 +99,9 @@ TEST(QuotientTest, QuotientNeverLargerThanBackbone) {
   Rng rng(229);
   for (int trial = 0; trial < 5; ++trial) {
     const Graph g = ErdosRenyiGnm(24, 30, rng);
-    const VertexPartition orbits = ComputeAutomorphismPartition(g);
+    const VertexPartition orbits = ComputeAutomorphismPartition(g, {}, nullptr);
     const QuotientResult q = ComputeQuotient(g, orbits);
-    const BackboneResult backbone = ComputeBackbone(g, orbits);
+    const BackboneResult backbone = ComputeBackbone(g, orbits, nullptr);
     EXPECT_LE(q.graph.NumVertices(), backbone.graph.NumVertices());
   }
 }

@@ -97,13 +97,13 @@ TEST(OrderedPartitionTest, DiscreteToLabeling) {
 TEST(RefinementTest, RegularGraphStaysUnit) {
   // Colour refinement cannot split a regular graph's unit partition.
   const Graph c6 = MakeCycle(6);
-  const auto cells = EquitablePartition(c6);
+  const auto cells = EquitablePartition(c6, {});
   ASSERT_EQ(cells.size(), 1u);
   EXPECT_EQ(cells[0].size(), 6u);
 }
 
 TEST(RefinementTest, StarSplitsHubFromLeaves) {
-  const auto cells = EquitablePartition(MakeStar(6));
+  const auto cells = EquitablePartition(MakeStar(6), {});
   ASSERT_EQ(cells.size(), 2u);
   // One singleton cell (hub), one 5-cell (leaves).
   const size_t small = std::min(cells[0].size(), cells[1].size());
@@ -114,7 +114,7 @@ TEST(RefinementTest, StarSplitsHubFromLeaves) {
 
 TEST(RefinementTest, PathRefinesByDistanceToEnds) {
   // P_5: cells {0,4}, {1,3}, {2}.
-  const auto cells = EquitablePartition(MakePath(5));
+  const auto cells = EquitablePartition(MakePath(5), {});
   EXPECT_EQ(cells.size(), 3u);
   ExpectEquitable(MakePath(5), cells);
 }
@@ -123,14 +123,14 @@ TEST(RefinementTest, ResultIsAlwaysEquitable) {
   Rng rng(31);
   for (int trial = 0; trial < 10; ++trial) {
     const Graph g = ErdosRenyiGnm(40, 70, rng);
-    ExpectEquitable(g, EquitablePartition(g));
+    ExpectEquitable(g, EquitablePartition(g, {}));
   }
 }
 
 TEST(RefinementTest, RespectsInitialColors) {
   // C_4 with one coloured vertex: refinement separates by distance to it.
   const Graph c4 = MakeCycle(4);
-  const auto cells = EquitablePartition(c4, {1, 0, 0, 0});
+  const auto cells = EquitablePartition(c4, RefinementOptions{.colors = {1, 0, 0, 0}});
   // {0}, {1,3}, {2}.
   EXPECT_EQ(cells.size(), 3u);
   ExpectEquitable(c4, cells);
@@ -175,7 +175,7 @@ TEST(RefinementTest, IndividualizeThenRefineReachesDiscreteOnPath) {
 TEST(RefinementTest, EquitablePartitionCellsCoverAllVertices) {
   Rng rng(37);
   const Graph g = BarabasiAlbert(120, 2, rng);
-  const auto cells = EquitablePartition(g);
+  const auto cells = EquitablePartition(g, {});
   size_t total = 0;
   std::vector<bool> seen(g.NumVertices(), false);
   for (const auto& cell : cells) {

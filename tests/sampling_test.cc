@@ -161,7 +161,7 @@ TEST(ApproxSamplingTest, LargerReleaseStillTracksOriginalDegrees) {
 
 TEST(InverseDegreeWeightsTest, InverselyProportional) {
   const Graph star = MakeStar(5);
-  const VertexPartition orbits = ComputeAutomorphismPartition(star);
+  const VertexPartition orbits = ComputeAutomorphismPartition(star, {}, nullptr);
   const auto weights = InverseDegreeCellWeights(star, orbits);
   ASSERT_EQ(weights.size(), 2u);
   const uint32_t hub_cell = orbits.cell_of[0];

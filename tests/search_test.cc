@@ -15,12 +15,12 @@ namespace ksym {
 namespace {
 
 double AutOrder(const Graph& graph) {
-  const AutomorphismResult aut = ComputeAutomorphisms(graph);
+  const AutomorphismResult aut = ComputeAutomorphisms(graph, {}, nullptr);
   return GroupOrderFromGenerators(graph.NumVertices(), aut.generators);
 }
 
 void ExpectValidGenerators(const Graph& graph) {
-  const AutomorphismResult aut = ComputeAutomorphisms(graph);
+  const AutomorphismResult aut = ComputeAutomorphisms(graph, {}, nullptr);
   for (const Permutation& g : aut.generators) {
     EXPECT_TRUE(IsAutomorphism(graph, g)) << g.ToCycleString();
   }
@@ -33,7 +33,7 @@ double Factorial(size_t n) {
 }
 
 TEST(AutSearchTest, EmptyAndTrivialGraphs) {
-  EXPECT_EQ(ComputeAutomorphisms(Graph(0)).generators.size(), 0u);
+  EXPECT_EQ(ComputeAutomorphisms(Graph(0), {}, nullptr).generators.size(), 0u);
   EXPECT_EQ(AutOrder(Graph(1)), 1.0);
   EXPECT_EQ(AutOrder(Graph(4)), Factorial(4));  // 4 isolated vertices.
 }
@@ -141,7 +141,7 @@ TEST(AutSearchTest, ColoredSearchRestrictsGroup) {
   // fixing the classes — order 6 (dihedral on 3 elements).
   const Graph c6 = MakeCycle(6);
   const std::vector<uint32_t> colors = {0, 1, 0, 1, 0, 1};
-  const AutomorphismResult aut = ComputeAutomorphisms(c6, colors);
+  const AutomorphismResult aut = ComputeAutomorphisms(c6, colors, nullptr);
   for (const Permutation& g : aut.generators) {
     EXPECT_TRUE(IsAutomorphism(c6, g));
     for (VertexId v = 0; v < 6; ++v) {
@@ -153,14 +153,14 @@ TEST(AutSearchTest, ColoredSearchRestrictsGroup) {
 
 TEST(AutSearchTest, OrbitRepsMatchGroupOrbits) {
   const Graph g = MakeStar(6);
-  const AutomorphismResult aut = ComputeAutomorphisms(g);
+  const AutomorphismResult aut = ComputeAutomorphisms(g, {}, nullptr);
   // Hub (vertex 0) alone; leaves 1..5 together.
   EXPECT_EQ(aut.orbit_rep[0], 0u);
   for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(aut.orbit_rep[v], 1u);
 }
 
 TEST(AutSearchTest, OrbitsOfPetersenAreVertexTransitive) {
-  const AutomorphismResult aut = ComputeAutomorphisms(MakePetersen());
+  const AutomorphismResult aut = ComputeAutomorphisms(MakePetersen(), {}, nullptr);
   for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(aut.orbit_rep[v], 0u);
 }
 

@@ -1,0 +1,751 @@
+// Tests for the ksym_serve stack (DESIGN.md §12): wire framing (round
+// trips, malformed input, a deterministic fuzz pass), the checksum-keyed
+// GraphCache (hits, eviction, pinning), the request-level API (CLI/daemon
+// equivalence, batched-vs-solo bit-equality), the ArgParser the tools share,
+// and the Server end to end over a real unix socket — including admission
+// rejection, queued-deadline expiry, and server-side sample batching.
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "serve/api.h"
+#include "serve/cache.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "serve_test_util.h"
+#include "tool_common.h"
+
+namespace ksym {
+namespace serve {
+namespace {
+
+using serve_test::ReadFileBytes;
+using serve_test::TempPath;
+using serve_test::TestClient;
+using serve_test::WriteFileBytes;
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, RoundTripAllKinds) {
+  WireObject object;
+  object.Set("s", WireValue::String("hello"));
+  object.Set("u", WireValue::Uint(UINT64_MAX));
+  object.Set("i", WireValue::Int(-42));
+  object.Set("d", WireValue::Double(1.5));
+  object.Set("b", WireValue::Bool(true));
+  object.Set("f", WireValue::Bool(false));
+
+  const std::string line = SerializeWireLine(object);
+  const auto parsed = ParseWireLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("s"), "hello");
+  EXPECT_EQ(parsed->GetUint("u"), UINT64_MAX);
+  ASSERT_NE(parsed->Find("i"), nullptr);
+  EXPECT_EQ(parsed->Find("i")->kind, WireValue::Kind::kInt);
+  EXPECT_EQ(parsed->Find("i")->i, -42);
+  EXPECT_EQ(parsed->GetDouble("d"), 1.5);
+  EXPECT_TRUE(parsed->GetBool("b"));
+  EXPECT_FALSE(parsed->GetBool("f", true));
+  // Deterministic: re-serializing reproduces the exact line.
+  EXPECT_EQ(SerializeWireLine(parsed.value()), line);
+}
+
+TEST(WireTest, StringEscapesRoundTrip) {
+  const std::string nasty = "quote\" back\\slash\nnew\ttab\rret\x01ctl";
+  WireObject object;
+  object.Set("k", WireValue::String(nasty));
+  const auto parsed = ParseWireLine(SerializeWireLine(object));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("k"), nasty);
+}
+
+TEST(WireTest, UnicodeEscapeDecodesToUtf8) {
+  const auto parsed = ParseWireLine("{\"k\":\"\\u00e9\\u20ac\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("k"), "\xc3\xa9\xe2\x82\xac");  // é €
+}
+
+TEST(WireTest, ToleratesWhitespaceAndTrailingNewline) {
+  const auto parsed = ParseWireLine("{ \"a\" : 1 , \"b\" : true }\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetUint("a"), 1u);
+  EXPECT_TRUE(parsed->GetBool("b"));
+}
+
+TEST(WireTest, EmptyObjectParses) {
+  const auto parsed = ParseWireLine("{}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->fields.empty());
+}
+
+TEST(WireTest, MalformedInputsRejected) {
+  const char* bad[] = {
+      "",                          // no object
+      "{",                         // unterminated
+      "{\"a\":}",                  // missing value
+      "{\"a\":1",                  // no closing brace
+      "{\"a\":1}x",                // trailing bytes
+      "{\"a\":1,\"a\":2}",         // duplicate key
+      "{\"a\":nul}",               // bad literal
+      "{\"a\":null}",              // null is not a wire kind
+      "{\"a\":[1]}",               // arrays unsupported
+      "{\"a\":{\"b\":1}}",         // nesting unsupported
+      "{\"a\":\"unterminated",     // unterminated string
+      "{\"a\":\"\\q\"}",           // unknown escape
+      "{\"a\":\"\\ud800\"}",       // surrogate escape
+      "{\"a\":1e}",                // bad exponent
+      "{\"a\":--3}",               // bad number
+      "{a:1}",                     // unquoted key
+      "plain text",                // not an object
+  };
+  for (const char* line : bad) {
+    const auto parsed = ParseWireLine(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(WireTest, GetUintAcceptsNonNegativeInt) {
+  WireObject object;
+  object.Set("a", WireValue::Int(7));
+  object.Set("b", WireValue::Int(-7));
+  EXPECT_EQ(object.GetUint("a"), 7u);
+  EXPECT_EQ(object.GetUint("b", 99), 99u);  // Negative: fallback.
+  EXPECT_EQ(object.GetDouble("b"), -7.0);
+}
+
+// The parser must be total: arbitrary bytes and mutations of a valid line
+// either parse or return a status — never crash. Deterministic xorshift so
+// failures replay.
+TEST(WireTest, FuzzNeverCrashes) {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  // Random byte soup.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line;
+    const size_t len = next() % 64;
+    for (size_t i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(next() % 256));
+    }
+    const auto parsed = ParseWireLine(line);
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize and re-parse.
+      const auto again = ParseWireLine(SerializeWireLine(parsed.value()));
+      EXPECT_TRUE(again.ok());
+    }
+  }
+
+  // Single-byte mutations of a valid request line.
+  const std::string valid =
+      "{\"op\":\"sample\",\"release\":\"r.ksymcsr\",\"samples\":4,"
+      "\"seed\":42,\"exact\":true,\"rate\":-1.5e2}";
+  for (size_t pos = 0; pos < valid.size(); ++pos) {
+    for (int m = 0; m < 4; ++m) {
+      std::string line = valid;
+      line[pos] = static_cast<char>(next() % 256);
+      (void)ParseWireLine(line);  // Must not crash; status content is free.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: small graphs on disk
+// ---------------------------------------------------------------------------
+
+std::string WriteTestCsr(const std::string& name, const Graph& graph) {
+  const std::string path = TempPath(name);
+  std::vector<uint64_t> labels(graph.NumVertices());
+  std::iota(labels.begin(), labels.end(), uint64_t{0});
+  const Status status = WriteCsrFile(graph, labels, path);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return path;
+}
+
+std::string WriteTestEdges(const std::string& name) {
+  const std::string path = TempPath(name);
+  WriteFileBytes(path, "0 1\n0 2\n0 3\n1 2\n3 4\n4 5\n4 6\n5 6\n");
+  return path;
+}
+
+/// Anonymizes the 8-vertex test graph into a binary release file.
+std::string WriteTestRelease(const std::string& name) {
+  AnonymizeRequest request;
+  request.input = WriteTestEdges(name + ".edges");
+  request.output = TempPath(name + ".ksymcsr");
+  request.k = 2;
+  request.binary = true;
+  const auto response = RunAnonymize(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return request.output;
+}
+
+// ---------------------------------------------------------------------------
+// GraphCache
+// ---------------------------------------------------------------------------
+
+TEST(GraphCacheTest, SecondLookupHits) {
+  const std::string path = WriteTestCsr("cache_hit.ksymcsr", MakeCycle(8));
+  GraphCache cache(size_t{1} << 20);
+
+  bool hit = true;
+  const auto first = cache.GetGraph(path, &hit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*first)->graph.NumVertices(), 8u);
+
+  const auto second = cache.GetGraph(path, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first->get(), second->get());  // Same mapping, not a reload.
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+}
+
+TEST(GraphCacheTest, KeyedByChecksumNotPath) {
+  const std::string path = WriteTestCsr("cache_key_a.ksymcsr", MakeCycle(8));
+  const std::string copy = TempPath("cache_key_b.ksymcsr");
+  WriteFileBytes(copy, ReadFileBytes(path));
+
+  GraphCache cache(size_t{1} << 20);
+  bool hit = true;
+  ASSERT_TRUE(cache.GetGraph(path, &hit).ok());
+  EXPECT_FALSE(hit);
+  // Different path, same bytes: the header checksum matches, so it hits.
+  ASSERT_TRUE(cache.GetGraph(copy, &hit).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(GraphCacheTest, EvictsPastCapButNeverUnmapsPins) {
+  const std::string path_a = WriteTestCsr("evict_a.ksymcsr", MakeCycle(8));
+  const std::string path_b = WriteTestCsr("evict_b.ksymcsr", MakePath(9));
+
+  GraphCache cache(1);  // Every entry alone exceeds the cap.
+  const auto a = cache.GetGraph(path_a);
+  ASSERT_TRUE(a.ok());
+  // The just-inserted entry is always admitted, even over the cap.
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  const auto b = cache.GetGraph(path_b);
+  ASSERT_TRUE(b.ok());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // A was evicted to admit B.
+  EXPECT_GE(stats.evictions, 1u);
+
+  // The pinned mapping survives its eviction.
+  EXPECT_EQ((*a)->graph.NumVertices(), 8u);
+  EXPECT_EQ((*b)->graph.NumVertices(), 9u);
+
+  // A is genuinely gone: looking it up again is a miss.
+  bool hit = true;
+  ASSERT_TRUE(cache.GetGraph(path_a, &hit).ok());
+  EXPECT_FALSE(hit);
+}
+
+TEST(GraphCacheTest, ReleaseLookupHitsAndBypassCounts) {
+  const std::string release = WriteTestRelease("cache_release");
+  GraphCache cache(size_t{1} << 20);
+
+  bool hit = true;
+  const auto first = cache.GetRelease(release, &hit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(hit);
+  const auto second = cache.GetRelease(release, &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first->get(), second->get());
+
+  cache.RecordBypass();
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+}
+
+TEST(GraphCacheTest, MissingFileIsAnErrorNotAnEntry) {
+  GraphCache cache(size_t{1} << 20);
+  EXPECT_FALSE(cache.GetGraph(TempPath("no_such.ksymcsr")).ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request wire decoding
+// ---------------------------------------------------------------------------
+
+TEST(RequestDecodeTest, AuditDefaultsAndFields) {
+  const auto minimal = AuditRequestFromWire(
+      ParseWireLine("{\"op\":\"audit\",\"input\":\"g.ksymcsr\"}").value());
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_EQ(minimal->input, "g.ksymcsr");
+  EXPECT_EQ(minimal->k, 5u);
+  EXPECT_FALSE(minimal->tdv);
+  EXPECT_EQ(minimal->threads, 1u);
+
+  const auto full = AuditRequestFromWire(
+      ParseWireLine("{\"op\":\"audit\",\"id\":\"x\",\"deadline_ms\":5,"
+                    "\"input\":\"g\",\"k\":3,\"tdv\":true,\"threads\":2}")
+          .value());
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->k, 3u);
+  EXPECT_TRUE(full->tdv);
+  EXPECT_EQ(full->threads, 2u);
+}
+
+TEST(RequestDecodeTest, UnknownFieldRejected) {
+  const auto decoded = AuditRequestFromWire(
+      ParseWireLine("{\"op\":\"audit\",\"input\":\"g\",\"kk\":3}").value());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("kk"), std::string::npos);
+}
+
+TEST(RequestDecodeTest, SampleDefaults) {
+  const auto decoded = SampleRequestFromWire(
+      ParseWireLine("{\"op\":\"sample\",\"release\":\"r\","
+                    "\"output_prefix\":\"s\"}")
+          .value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->samples, 10u);
+  EXPECT_EQ(decoded->seed, 42u);
+  EXPECT_FALSE(decoded->exact);
+  EXPECT_FALSE(decoded->binary);
+}
+
+// ---------------------------------------------------------------------------
+// Request API: cache transparency and batch bit-equality
+// ---------------------------------------------------------------------------
+
+TEST(ApiTest, AuditReportIdenticalWithAndWithoutCache) {
+  AuditRequest request;
+  request.input = WriteTestCsr("api_audit.ksymcsr", MakePetersen());
+  request.k = 3;
+
+  const auto uncached = RunAudit(request, nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+
+  GraphCache cache(size_t{1} << 20);
+  const auto cold = RunAudit(request, &cache);
+  ASSERT_TRUE(cold.ok());
+  const auto warm = RunAudit(request, &cache);
+  ASSERT_TRUE(warm.ok());
+
+  // The report channel is byte-stable across load paths; only the log
+  // (timings, cache state) may differ.
+  EXPECT_EQ(uncached->report, cold->report);
+  EXPECT_EQ(uncached->report, warm->report);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ApiTest, TextInputBypassesCache) {
+  AuditRequest request;
+  request.input = WriteTestEdges("api_text.edges");
+  request.k = 2;
+  GraphCache cache(size_t{1} << 20);
+  const auto response = RunAudit(request, &cache);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ApiTest, ErrorsSurfaceAsStatuses) {
+  AuditRequest audit;
+  audit.input = TempPath("missing_input.edges");
+  EXPECT_FALSE(RunAudit(audit).ok());
+
+  SampleRequest sample;  // Missing release/prefix.
+  EXPECT_FALSE(RunSample(sample).ok());
+}
+
+TEST(ApiTest, BatchedSamplingBitIdenticalToSolo) {
+  const std::string release = WriteTestRelease("batch_rel");
+
+  // Two requests with different seeds and sample counts.
+  SampleRequest r0;
+  r0.release = release;
+  r0.samples = 3;
+  r0.seed = 7;
+  SampleRequest r1;
+  r1.release = release;
+  r1.samples = 2;
+  r1.seed = 1234;
+
+  // Solo runs.
+  r0.output_prefix = TempPath("solo0");
+  r1.output_prefix = TempPath("solo1");
+  const auto solo0 = RunSample(r0);
+  const auto solo1 = RunSample(r1);
+  ASSERT_TRUE(solo0.ok()) << solo0.status().ToString();
+  ASSERT_TRUE(solo1.ok()) << solo1.status().ToString();
+
+  // Batched run of both, through a cache, with batch-level threading.
+  GraphCache cache(size_t{1} << 20);
+  SampleRequest b0 = r0;
+  SampleRequest b1 = r1;
+  b0.output_prefix = TempPath("batch0");
+  b1.output_prefix = TempPath("batch1");
+  const auto results = RunSampleBatch({b0, b1}, &cache, /*threads=*/3);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  ASSERT_TRUE(results[1].ok()) << results[1].status().ToString();
+
+  // Every written sample is byte-identical to its solo twin.
+  for (uint64_t i = 0; i < r0.samples; ++i) {
+    const std::string suffix = "." + std::to_string(i) + ".edges";
+    EXPECT_EQ(ReadFileBytes(TempPath("solo0") + suffix),
+              ReadFileBytes(TempPath("batch0") + suffix))
+        << "request 0 sample " << i;
+  }
+  for (uint64_t i = 0; i < r1.samples; ++i) {
+    const std::string suffix = "." + std::to_string(i) + ".edges";
+    EXPECT_EQ(ReadFileBytes(TempPath("solo1") + suffix),
+              ReadFileBytes(TempPath("batch1") + suffix))
+        << "request 1 sample " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ArgParser
+// ---------------------------------------------------------------------------
+
+std::vector<char*> Argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return argv;
+}
+
+TEST(ArgParserTest, ParsesTypedFlags) {
+  std::string input;
+  uint32_t k = 5;
+  uint64_t seed = 0;
+  size_t bytes = 0;
+  double rate = 0.0;
+  bool tdv = false;
+  ksym_tools::ArgParser parser("usage: test");
+  parser.String("--input", &input, "in");
+  parser.U32("--k", &k, "k");
+  parser.U64("--seed", &seed, "seed");
+  parser.Size("--bytes", &bytes, "bytes");
+  parser.F64("--rate", &rate, "rate");
+  parser.Flag("--tdv", &tdv, "tdv");
+
+  std::vector<std::string> args = {"tool",   "--input", "g.edges", "--k",
+                                   "3",      "--seed",  "99",      "--bytes",
+                                   "4096",   "--rate",  "0.25",    "--tdv"};
+  auto argv = Argv(args);
+  parser.ParseOrExit(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(input, "g.edges");
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(seed, 99u);
+  EXPECT_EQ(bytes, 4096u);
+  EXPECT_EQ(rate, 0.25);
+  EXPECT_TRUE(tdv);
+}
+
+TEST(ArgParserDeathTest, UnknownFlagExitsTwo) {
+  std::vector<std::string> args = {"tool", "--bogus"};
+  auto argv = Argv(args);
+  ksym_tools::ArgParser parser("usage: test");
+  EXPECT_EXIT(parser.ParseOrExit(static_cast<int>(argv.size()), argv.data()),
+              testing::ExitedWithCode(2), "unknown flag '--bogus'");
+}
+
+TEST(ArgParserDeathTest, MissingValueExitsTwo) {
+  std::vector<std::string> args = {"tool", "--k"};
+  auto argv = Argv(args);
+  uint32_t k = 0;
+  ksym_tools::ArgParser parser("usage: test");
+  parser.U32("--k", &k, "k");
+  EXPECT_EXIT(parser.ParseOrExit(static_cast<int>(argv.size()), argv.data()),
+              testing::ExitedWithCode(2), "expects a value");
+}
+
+TEST(ArgParserDeathTest, BadValueExitsTwo) {
+  std::vector<std::string> args = {"tool", "--k", "banana"};
+  auto argv = Argv(args);
+  uint32_t k = 0;
+  ksym_tools::ArgParser parser("usage: test");
+  parser.U32("--k", &k, "k");
+  EXPECT_EXIT(parser.ParseOrExit(static_cast<int>(argv.size()), argv.data()),
+              testing::ExitedWithCode(2), "bad value 'banana'");
+}
+
+TEST(ArgParserDeathTest, HelpExitsZero) {
+  std::vector<std::string> args = {"tool", "--help"};
+  auto argv = Argv(args);
+  ksym_tools::ArgParser parser("usage: test");
+  EXPECT_EXIT(parser.ParseOrExit(static_cast<int>(argv.size()), argv.data()),
+              testing::ExitedWithCode(0), "");
+}
+
+TEST(ArgParserDeathTest, FailUsageExitsTwo) {
+  ksym_tools::ArgParser parser("usage: test");
+  EXPECT_EXIT(parser.FailUsage("--input is required"),
+              testing::ExitedWithCode(2), "--input is required");
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end
+// ---------------------------------------------------------------------------
+
+ServerOptions BaseOptions(const std::string& socket_name) {
+  ServerOptions options;
+  options.socket_path = TempPath(socket_name);
+  options.thread_budget = 2;
+  return options;
+}
+
+TEST(ServerTest, AuditMatchesCliByteForByteAndCaches) {
+  AuditRequest request;
+  request.input = WriteTestCsr("srv_audit.ksymcsr", MakePetersen());
+  request.k = 3;
+  const auto cli = RunAudit(request, nullptr);
+  ASSERT_TRUE(cli.ok()) << cli.status().ToString();
+
+  Server server(BaseOptions("srv_audit.sock"));
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.options().socket_path);
+  ASSERT_TRUE(client.connected());
+
+  const std::string line = "{\"op\":\"audit\",\"input\":\"" + request.input +
+                           "\",\"k\":3}";
+  for (int round = 0; round < 2; ++round) {
+    const auto response = ParseWireLine(client.RoundTrip(line));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->GetString("status"), "ok");
+    // The daemon's report is the CLI's stdout, byte for byte.
+    EXPECT_EQ(response->GetString("report"), cli->report);
+  }
+  EXPECT_EQ(server.cache().stats().hits, 1u);
+  EXPECT_EQ(server.cache().stats().misses, 1u);
+
+  // Stats op reports the same through the wire.
+  const auto stats = ParseWireLine(client.RoundTrip("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(stats.ok());
+  const std::string report = stats->GetString("report");
+  EXPECT_NE(report.find("completed: 2\n"), std::string::npos) << report;
+  EXPECT_NE(report.find("cache_hits: 1\n"), std::string::npos) << report;
+  server.Stop();
+}
+
+TEST(ServerTest, BadLinesAnswerErrorsAndCountParseErrors) {
+  Server server(BaseOptions("srv_err.sock"));
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.options().socket_path);
+  ASSERT_TRUE(client.connected());
+
+  const auto garbage = ParseWireLine(client.RoundTrip("not json at all"));
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_EQ(garbage->GetString("status"), "error");
+
+  const auto unknown_op =
+      ParseWireLine(client.RoundTrip("{\"op\":\"explode\"}"));
+  ASSERT_TRUE(unknown_op.ok());
+  EXPECT_EQ(unknown_op->GetString("status"), "error");
+  EXPECT_NE(unknown_op->GetString("error").find("unknown op"),
+            std::string::npos);
+
+  const auto bad_field = ParseWireLine(
+      client.RoundTrip("{\"op\":\"audit\",\"input\":\"g\",\"zz\":1}"));
+  ASSERT_TRUE(bad_field.ok());
+  EXPECT_EQ(bad_field->GetString("status"), "error");
+
+  // A request naming a missing file is accepted, then fails in execution.
+  const auto missing = ParseWireLine(client.RoundTrip(
+      "{\"op\":\"audit\",\"input\":\"" + TempPath("gone.ksymcsr") + "\"}"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->GetString("status"), "error");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.parse_errors, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+  server.Stop();
+}
+
+TEST(ServerTest, IdIsEchoedFirst) {
+  Server server(BaseOptions("srv_id.sock"));
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.options().socket_path);
+  ASSERT_TRUE(client.connected());
+  const std::string response =
+      client.RoundTrip("{\"id\":\"req-17\",\"op\":\"stats\"}");
+  EXPECT_EQ(response.rfind("{\"id\":\"req-17\",\"status\":\"ok\"", 0), 0u)
+      << response;
+  server.Stop();
+}
+
+TEST(ServerTest, FullQueueRejectsBusy) {
+  ServerOptions options = BaseOptions("srv_busy.sock");
+  options.thread_budget = 1;
+  options.max_queue = 1;
+  options.retry_after_ms = 250;
+  options.start_paused = true;  // Park the worker so the queue stays full.
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient first(server.options().socket_path);
+  ASSERT_TRUE(first.connected());
+  std::string first_response;
+  std::thread blocked([&] {
+    first_response = first.RoundTrip("{\"op\":\"sleep\",\"ms\":0}");
+  });
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The queue now holds one job and nobody is draining: next arrival
+  // bounces with the configured retry hint.
+  TestClient second(server.options().socket_path);
+  ASSERT_TRUE(second.connected());
+  const auto busy =
+      ParseWireLine(second.RoundTrip("{\"op\":\"sleep\",\"ms\":0}"));
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy->GetString("status"), "busy");
+  EXPECT_EQ(busy->GetUint("retry_after_ms"), 250u);
+
+  server.Resume();
+  blocked.join();
+  const auto ok = ParseWireLine(first_response);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->GetString("status"), "ok");
+  EXPECT_EQ(server.stats().rejected_busy, 1u);
+  server.Stop();
+}
+
+TEST(ServerTest, QueuedDeadlineExpires) {
+  ServerOptions options = BaseOptions("srv_deadline.sock");
+  options.start_paused = true;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.options().socket_path);
+  ASSERT_TRUE(client.connected());
+  std::string response_line;
+  std::thread waiting([&] {
+    response_line =
+        client.RoundTrip("{\"op\":\"sleep\",\"ms\":0,\"deadline_ms\":1}");
+  });
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Let the deadline lapse while the job sits in the paused queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Resume();
+  waiting.join();
+
+  const auto response = ParseWireLine(response_line);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->GetString("status"), "error");
+  EXPECT_NE(response->GetString("error").find("deadline expired"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  server.Stop();
+}
+
+TEST(ServerTest, QueuedSamplesBatchAndMatchSoloBytes) {
+  const std::string release = WriteTestRelease("srv_batch_rel");
+
+  // Solo reference runs (no daemon).
+  SampleRequest r0;
+  r0.release = release;
+  r0.samples = 2;
+  r0.seed = 5;
+  r0.output_prefix = TempPath("srv_solo0");
+  SampleRequest r1 = r0;
+  r1.seed = 6;
+  r1.output_prefix = TempPath("srv_solo1");
+  ASSERT_TRUE(RunSample(r0).ok());
+  ASSERT_TRUE(RunSample(r1).ok());
+
+  ServerOptions options = BaseOptions("srv_batch.sock");
+  options.thread_budget = 1;  // One worker: it must drain both as a batch.
+  options.start_paused = true;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto request_line = [&](uint64_t seed, const std::string& prefix) {
+    return "{\"op\":\"sample\",\"release\":\"" + release +
+           "\",\"output_prefix\":\"" + prefix +
+           "\",\"samples\":2,\"seed\":" + std::to_string(seed) + "}";
+  };
+  TestClient c0(server.options().socket_path);
+  TestClient c1(server.options().socket_path);
+  ASSERT_TRUE(c0.connected());
+  ASSERT_TRUE(c1.connected());
+  std::string l0, l1;
+  std::thread t0(
+      [&] { l0 = c0.RoundTrip(request_line(5, TempPath("srv_batch0"))); });
+  std::thread t1(
+      [&] { l1 = c1.RoundTrip(request_line(6, TempPath("srv_batch1"))); });
+  while (server.stats().accepted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Resume();
+  t0.join();
+  t1.join();
+
+  const auto p0 = ParseWireLine(l0);
+  const auto p1 = ParseWireLine(l1);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p0->GetString("status"), "ok") << p0->GetString("error");
+  EXPECT_EQ(p1->GetString("status"), "ok") << p1->GetString("error");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_requests, 2u);
+
+  // Batched daemon outputs == solo CLI outputs, byte for byte.
+  for (int i = 0; i < 2; ++i) {
+    const std::string suffix = "." + std::to_string(i) + ".edges";
+    EXPECT_EQ(ReadFileBytes(TempPath("srv_solo0") + suffix),
+              ReadFileBytes(TempPath("srv_batch0") + suffix));
+    EXPECT_EQ(ReadFileBytes(TempPath("srv_solo1") + suffix),
+              ReadFileBytes(TempPath("srv_batch1") + suffix));
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, StopWithQueuedWorkDrainsCleanly) {
+  ServerOptions options = BaseOptions("srv_stop.sock");
+  options.start_paused = true;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.options().socket_path);
+  ASSERT_TRUE(client.connected());
+  std::string response_line;
+  std::thread waiting(
+      [&] { response_line = client.RoundTrip("{\"op\":\"sleep\",\"ms\":0}"); });
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Stop() without Resume(): workers drain the queue before exiting, so the
+  // blocked client is released (not deadlocked). Delivery of the response
+  // races connection teardown — if a line did arrive, it must be the ok.
+  server.Stop();
+  waiting.join();
+  EXPECT_EQ(server.stats().completed, 1u);
+  if (!response_line.empty()) {
+    const auto response = ParseWireLine(response_line);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->GetString("status"), "ok");
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ksym

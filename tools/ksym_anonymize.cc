@@ -17,205 +17,54 @@
 // in-memory run's --binary release. Sharded mode requires --tdv (the exact
 // orbit search needs random access) and rejects --minimal.
 //
-//   ksym_anonymize --input graph.manifest --output release --k 5 --tdv
+//   ksym_anonymize --input graph.manifest --output PREFIX --k 5 --tdv
 //                  [--threads N] [--resident-bytes B] [--output-shards S]
 //
-// --tdv uses the total degree partition (Section 7) instead of the exact
-// automorphism partition; recommended above ~10^4 vertices. --threads
-// shards the refinement inside the partition phase (results are
-// bit-identical to the sequential run). --binary writes the in-memory
-// release in the zero-copy CSR encoding instead of the text triple.
+// The tool is a thin adapter over serve/api.h: it parses flags into an
+// AnonymizeRequest and executes exactly what the ksym_serve daemon would —
+// the deterministic report goes to stdout, timings to stderr.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 
-#include "common/parallel.h"
-#include "common/timer.h"
-#include "graph/algorithms.h"
-#include "graph/io.h"
-#include "ksym/anonymizer.h"
-#include "ksym/minimal.h"
-#include "ksym/release_io.h"
-#include "ksym/sharded_anonymizer.h"
-#include "shard/manifest.h"
-#include "shard/sharded_graph.h"
+#include "serve/api.h"
 #include "tool_common.h"
 
-namespace {
-
-using ksym_tools::Fail;
-
-void Usage() {
-  std::fprintf(
-      stderr,
+int main(int argc, char** argv) {
+  ksym::serve::AnonymizeRequest request;
+  ksym_tools::ArgParser parser(
       "usage: ksym_anonymize --input graph.edges --output release.ksym\n"
       "                      --k K [--exclude-hubs FRACTION] [--minimal]\n"
       "                      [--tdv] [--threads N] [--binary]\n"
       "       ksym_anonymize --input graph.manifest --output PREFIX\n"
       "                      --k K --tdv [--exclude-hubs FRACTION]\n"
       "                      [--threads N] [--resident-bytes B]\n"
-      "                      [--output-shards S]\n");
-}
-
-void PrintPhaseStats(const ksym::RefinementStats& refinement,
-                     uint32_t threads) {
-  std::fprintf(stderr,
-               "phases (threads=%u): partition %.1f ms (refine %.1f ms, "
-               "%llu refine calls, %llu cells split), copy %.1f ms\n",
-               threads, refinement.partition_seconds * 1e3,
-               refinement.refine_seconds * 1e3,
-               static_cast<unsigned long long>(refinement.refine_calls),
-               static_cast<unsigned long long>(refinement.cells_split),
-               refinement.copy_seconds * 1e3);
-}
-
-int RunSharded(const std::string& input, const std::string& output_prefix,
-               uint32_t k, double exclude_hubs, bool minimal, bool tdv,
-               const ksym::ExecutionContext& context, size_t resident_bytes,
-               uint32_t output_shards) {
-  using namespace ksym;
-  if (minimal) {
-    return Fail(Status::InvalidArgument(
-        "--minimal needs the resident graph; not available in sharded mode"));
-  }
-  if (!tdv) {
-    return Fail(Status::InvalidArgument(
-        "sharded mode requires --tdv (the exact orbit search needs random "
-        "access to the whole graph)"));
+      "                      [--output-shards S]");
+  parser.String("--input", &request.input,
+                "graph: text edge list, .ksymcsr, or shard manifest");
+  parser.String("--output", &request.output,
+                "release file (or shard-set prefix for manifest inputs)");
+  parser.U32("--k", &request.k, "symmetry requirement (cells of size >= k)");
+  parser.F64("--exclude-hubs", &request.exclude_hubs,
+             "exclude the top fraction of vertices by degree");
+  parser.Flag("--minimal", &request.minimal,
+              "vertex-minimal variant (Section 5.1)");
+  parser.Flag("--tdv", &request.tdv,
+              "use the TDV partition instead of exact orbits (Section 7)");
+  parser.Flag("--binary", &request.binary,
+              "write the release in binary CSR form");
+  parser.U32("--threads", &request.threads, "refinement worker threads");
+  parser.Size("--resident-bytes", &request.resident_bytes,
+              "sharded input: residency cap in bytes");
+  parser.U32("--output-shards", &request.output_shards,
+             "sharded input: output shard count (0 = same as input)");
+  parser.ParseOrExit(argc, argv);
+  if (request.input.empty() || request.output.empty() || request.k < 1) {
+    parser.FailUsage();
   }
 
-  ShardedGraphOptions open_options;
-  if (resident_bytes > 0) open_options.max_resident_bytes = resident_bytes;
-  auto graph = ShardedGraph::Open(input, open_options);
-  if (!graph.ok()) return Fail(graph.status());
-  std::fprintf(stderr,
-               "opened shard set %s: %zu vertices, %zu edges, %u shards "
-               "[out-of-core]\n",
-               input.c_str(), graph->NumVertices(), graph->NumEdges(),
-               graph->NumShards());
-
-  ShardedAnonymizationOptions options;
-  options.k = k;
-  options.exclude_hubs_fraction = exclude_hubs;
-  options.context = &context;
-  options.output_shards = output_shards;
-
-  Timer timer;
-  const auto result = AnonymizeSharded(*graph, options, output_prefix);
-  if (!result.ok()) return Fail(result.status());
-  std::fprintf(stderr,
-               "anonymized to k=%u in %.1f ms: +%zu vertices, +%zu edges, "
-               "%zu copy operations, %zu hub orbits excluded\n",
-               k, timer.ElapsedMillis(), result->vertices_added,
-               result->edges_added, result->copy_operations,
-               result->orbits_excluded);
-  PrintPhaseStats(result->refinement, context.threads());
-  ksym_tools::PrintResidencyStats(result->residency);
-  std::fprintf(stderr,
-               "wrote %zu-vertex release as %zu shards to %s.manifest\n",
-               result->released_vertices, result->manifest.NumShards(),
-               output_prefix.c_str());
-  return 0;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace ksym;
-  std::string input;
-  std::string output;
-  uint32_t k = 2;
-  double exclude_hubs = 0.0;
-  bool minimal = false;
-  bool tdv = false;
-  bool binary = false;
-  uint32_t threads = 1;
-  size_t resident_bytes = 0;
-  uint32_t output_shards = 0;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--input") {
-      input = next();
-    } else if (arg == "--output") {
-      output = next();
-    } else if (arg == "--k") {
-      k = static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--exclude-hubs") {
-      exclude_hubs = std::atof(next());
-    } else if (arg == "--minimal") {
-      minimal = true;
-    } else if (arg == "--tdv") {
-      tdv = true;
-    } else if (arg == "--binary") {
-      binary = true;
-    } else if (arg == "--threads") {
-      threads = static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--resident-bytes") {
-      resident_bytes = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--output-shards") {
-      output_shards = static_cast<uint32_t>(std::atoi(next()));
-    } else {
-      Usage();
-      return 2;
-    }
-  }
-  if (input.empty() || output.empty() || k < 1) {
-    Usage();
-    return 2;
-  }
-
-  ExecutionContext context(threads);
-  if (IsManifestFile(input)) {
-    return RunSharded(input, output, k, exclude_hubs, minimal, tdv, context,
-                      resident_bytes, output_shards);
-  }
-
-  const auto loaded = ReadGraphAuto(input);
-  if (!loaded.ok()) return Fail(loaded.status());
-  const Graph& graph = loaded->graph;
-  const DegreeStats stats = ComputeDegreeStats(graph);
-  std::fprintf(stderr,
-               "loaded %zu vertices, %zu edges (max degree %zu) [%s]\n",
-               stats.num_vertices, stats.num_edges, stats.max_degree,
-               loaded->binary ? "binary csr, mmap" : "text");
-
-  AnonymizationOptions options;
-  options.k = k;
-  options.use_total_degree_partition = tdv;
-  options.context = &context;
-  if (exclude_hubs > 0.0) {
-    options.requirement = HubExclusionRequirement(
-        k, DegreeThresholdForExcludedFraction(graph, exclude_hubs));
-  }
-
-  Timer timer;
-  const auto result =
-      minimal ? AnonymizeMinimalVertices(graph, options)
-              : Anonymize(graph, options);
-  if (!result.ok()) return Fail(result.status());
-  std::fprintf(stderr,
-               "anonymized to k=%u in %.1f ms: +%zu vertices, +%zu edges, "
-               "%zu copy operations, %zu hub orbits excluded\n",
-               k, timer.ElapsedMillis(), result->vertices_added,
-               result->edges_added, result->copy_operations,
-               result->orbits_excluded);
-  PrintPhaseStats(result->refinement, context.threads());
-
-  const Status write_status =
-      binary ? WriteReleaseCsrFile(MakeReleaseTriple(*result), output)
-             : WriteReleaseFile(MakeReleaseTriple(*result), output);
-  if (!write_status.ok()) return Fail(write_status);
-  std::fprintf(stderr, "wrote release %s to %s\n",
-               binary ? "(binary csr)" : "triple", output.c_str());
+  const auto response = ksym::serve::RunAnonymize(request);
+  if (!response.ok()) return ksym_tools::Fail(response.status());
+  std::fputs(response->report.c_str(), stdout);
+  std::fputs(response->log.c_str(), stderr);
   return 0;
 }

@@ -8,109 +8,31 @@
 //   ksym_audit --input graph.edges [--k 5] [--tdv] [--threads N]
 //
 // --threads shards the partition computation's refinement (bit-identical
-// to the sequential run).
+// to the sequential run). The tool is a thin adapter over serve/api.h: the
+// report on stdout is byte-identical to the ksym_serve daemon's response
+// for the same AuditRequest (the CI smoke test diffs the two).
 
 #include <cstdio>
-#include <cstdlib>
-#include <string>
 
-#include "attack/measures.h"
-#include "attack/reidentification.h"
-#include "aut/orbits.h"
-#include "common/parallel.h"
-#include "common/timer.h"
-#include "graph/algorithms.h"
-#include "graph/io.h"
+#include "serve/api.h"
 #include "tool_common.h"
 
-namespace {
-
-using ksym_tools::Fail;
-
-void Usage() {
-  std::fprintf(stderr,
-               "usage: ksym_audit --input graph.edges [--k K] [--tdv] "
-               "[--threads N]\n");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  using namespace ksym;
-  std::string input;
-  uint32_t k = 5;
-  bool tdv = false;
-  uint32_t threads = 1;
+  ksym::serve::AuditRequest request;
+  ksym_tools::ArgParser parser(
+      "usage: ksym_audit --input graph.edges [--k K] [--tdv] [--threads N]");
+  parser.String("--input", &request.input,
+                "graph: text edge list or .ksymcsr");
+  parser.U32("--k", &request.k, "symmetry requirement to audit against");
+  parser.Flag("--tdv", &request.tdv,
+              "use the TDV partition instead of exact orbits (Section 7)");
+  parser.U32("--threads", &request.threads, "refinement worker threads");
+  parser.ParseOrExit(argc, argv);
+  if (request.input.empty()) parser.FailUsage();
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--input") {
-      input = next();
-    } else if (arg == "--k") {
-      k = static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--tdv") {
-      tdv = true;
-    } else if (arg == "--threads") {
-      threads = static_cast<uint32_t>(std::atoi(next()));
-    } else {
-      Usage();
-      return 2;
-    }
-  }
-  if (input.empty()) {
-    Usage();
-    return 2;
-  }
-
-  const auto loaded = ReadGraphAuto(input);
-  if (!loaded.ok()) return Fail(loaded.status());
-  const Graph& graph = loaded->graph;
-  const DegreeStats stats = ComputeDegreeStats(graph);
-  std::printf("graph: %zu vertices, %zu edges, degree %zu..%zu (avg %.2f)\n",
-              stats.num_vertices, stats.num_edges, stats.min_degree,
-              stats.max_degree, stats.average_degree);
-
-  Timer timer;
-  ExecutionContext context(threads);
-  const VertexPartition orbits =
-      tdv ? ComputeTotalDegreePartition(graph, &context)
-          : ComputeAutomorphismPartition(graph, {}, &context);
-  std::printf("%s partition: %zu cells, %zu singletons (%.1f ms)%s\n",
-              tdv ? "TDV" : "orbit", orbits.NumCells(),
-              orbits.NumSingletons(), timer.ElapsedMillis(),
-              tdv ? "  [upper approximation of Orb(G)]" : "");
-
-  size_t under_k = 0;
-  size_t min_cell = graph.NumVertices();
-  for (const auto& cell : orbits.cells) {
-    if (cell.size() < k) under_k += cell.size();
-    if (cell.size() < min_cell) min_cell = cell.size();
-  }
-  std::printf("k=%u symmetry: %s (minimum cell size %zu; %zu vertices in "
-              "cells below k)\n",
-              k, under_k == 0 ? "SATISFIED" : "NOT satisfied", min_cell,
-              under_k);
-
-  std::printf("\n%-20s %10s %12s %8s %8s\n", "measure", "unique",
-              "under-k", "r_f", "s_f");
-  for (const auto& measure :
-       {DegreeMeasure(), TriangleMeasure(), NeighborDegreeSequenceMeasure(),
-        NeighborhoodMeasure(), CombinedMeasure()}) {
-    const VertexPartition cells = PartitionByMeasure(graph, measure);
-    size_t exposed = 0;
-    for (const auto& cell : cells.cells) {
-      if (cell.size() < k) exposed += cell.size();
-    }
-    const ReidentificationStats r = CompareToOrbits(cells, orbits);
-    std::printf("%-20s %10zu %12zu %8.3f %8.3f\n", measure.name.c_str(),
-                r.measure_singletons, exposed, r.r_f, r.s_f);
-  }
+  const auto response = ksym::serve::RunAudit(request);
+  if (!response.ok()) return ksym_tools::Fail(response.status());
+  std::fputs(response->report.c_str(), stdout);
+  std::fputs(response->log.c_str(), stderr);
   return 0;
 }

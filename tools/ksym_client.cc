@@ -1,0 +1,144 @@
+// ksym_client — command-line client for the ksym_serve daemon.
+//
+//   ksym_client --socket /tmp/ksym.sock --request '{"op":"stats"}'
+//   ksym_client --socket /tmp/ksym.sock < requests.jsonl
+//
+// Sends one request line (--request) or every line of stdin over the
+// socket and prints each response the way the one-shot CLIs would: the
+// deterministic report to stdout, the log to stderr. Non-ok responses
+// print "error: ..." to stderr and make the exit code nonzero (busy
+// rejections included — the client does not retry; that is the caller's
+// policy). --raw prints the raw response lines instead, for scripting
+// against the wire format directly.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/wire.h"
+#include "tool_common.h"
+
+namespace {
+
+using ksym_tools::Fail;
+
+/// Sends `line` + '\n' and reads one '\n'-terminated response line.
+ksym::Result<std::string> RoundTrip(int fd, const std::string& line,
+                                    std::string& buffer) {
+  const std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return ksym::Status::IoError(
+          ksym::StrFormat("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  for (;;) {
+    const size_t pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      std::string response = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return ksym::Status::IoError("connection closed before response");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// Prints one response like the one-shot CLIs would. Returns true on "ok".
+bool PrintResponse(const std::string& response_line, bool raw) {
+  if (raw) {
+    std::printf("%s\n", response_line.c_str());
+    return true;
+  }
+  const auto parsed = ksym::serve::ParseWireLine(response_line);
+  if (!parsed.ok()) {
+    Fail(parsed.status());
+    return false;
+  }
+  const std::string status = parsed->GetString("status");
+  if (status == "ok") {
+    std::fputs(parsed->GetString("report").c_str(), stdout);
+    std::fputs(parsed->GetString("log").c_str(), stderr);
+    return true;
+  }
+  if (status == "busy") {
+    std::fprintf(stderr, "busy: %s (retry_after_ms %llu)\n",
+                 parsed->GetString("error").c_str(),
+                 static_cast<unsigned long long>(
+                     parsed->GetUint("retry_after_ms")));
+    return false;
+  }
+  std::fprintf(stderr, "error: %s\n", parsed->GetString("error").c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request;
+  bool raw = false;
+  ksym_tools::ArgParser parser(
+      "usage: ksym_client --socket PATH [--request LINE] [--raw]\n"
+      "reads request lines from stdin when --request is not given");
+  parser.String("--socket", &socket_path, "ksym_serve unix socket");
+  parser.String("--request", &request, "single request line to send");
+  parser.Flag("--raw", &raw, "print raw response lines");
+  parser.ParseOrExit(argc, argv);
+  if (socket_path.empty()) parser.FailUsage();
+
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Fail(ksym::Status::InvalidArgument("socket path too long"));
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Fail(ksym::Status::IoError(
+        ksym::StrFormat("socket: %s", std::strerror(errno))));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail(ksym::Status::IoError(ksym::StrFormat(
+        "connect %s: %s", socket_path.c_str(), std::strerror(errno))));
+  }
+
+  std::string buffer;
+  bool all_ok = true;
+  if (!request.empty()) {
+    const auto response = RoundTrip(fd, request, buffer);
+    if (!response.ok()) {
+      ::close(fd);
+      return Fail(response.status());
+    }
+    all_ok = PrintResponse(response.value(), raw);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto response = RoundTrip(fd, line, buffer);
+      if (!response.ok()) {
+        ::close(fd);
+        return Fail(response.status());
+      }
+      all_ok = PrintResponse(response.value(), raw) && all_ok;
+    }
+  }
+  ::close(fd);
+  return all_ok ? 0 : 1;
+}

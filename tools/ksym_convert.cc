@@ -27,14 +27,6 @@ namespace {
 
 using ksym_tools::Fail;
 
-void Usage() {
-  std::fprintf(stderr,
-               "usage: ksym_convert --input IN --output OUT\n"
-               "                    [--format text|csr] [--no-validate]\n"
-               "input format is detected by magic; --format sets the output\n"
-               "format (default: the opposite of the input's)\n");
-}
-
 // Info-style dump of a .ksymcsr header — counts and every stored checksum —
 // so converted files are inspectable straight from the conversion log
 // (ksym_shard prints the same shape per shard).
@@ -67,35 +59,26 @@ int main(int argc, char** argv) {
   std::string input;
   std::string output;
   std::string format;  // "", "text", or "csr".
-  CsrReadOptions read_options;
+  bool no_validate = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--input") {
-      input = next();
-    } else if (arg == "--output") {
-      output = next();
-    } else if (arg == "--format") {
-      format = next();
-    } else if (arg == "--no-validate") {
-      read_options.validate = false;
-    } else {
-      Usage();
-      return 2;
-    }
-  }
+  ksym_tools::ArgParser parser(
+      "usage: ksym_convert --input IN --output OUT\n"
+      "                    [--format text|csr] [--no-validate]\n"
+      "input format is detected by magic; --format sets the output\n"
+      "format (default: the opposite of the input's)");
+  parser.String("--input", &input, "graph: text edge list or .ksymcsr");
+  parser.String("--output", &output, "converted graph file");
+  parser.String("--format", &format,
+                "output format, text|csr (default: opposite of input)");
+  parser.Flag("--no-validate", &no_validate,
+              "skip checksum/structure validation of binary inputs");
+  parser.ParseOrExit(argc, argv);
   if (input.empty() || output.empty() ||
       (!format.empty() && format != "text" && format != "csr")) {
-    Usage();
-    return 2;
+    parser.FailUsage();
   }
+  CsrReadOptions read_options;
+  read_options.validate = !no_validate;
 
   Timer timer;
   const auto loaded = ReadGraphAuto(input, read_options);

@@ -13,109 +13,40 @@
 // the other tools auto-detect by magic.
 //
 // --threads N draws the samples concurrently; each sample is seeded from a
-// per-index Rng stream, so the outputs are byte-identical for any N.
+// per-index Rng stream, so the outputs are byte-identical for any N — and
+// identical to what the ksym_serve daemon produces for the same
+// SampleRequest, even when the daemon batches it with other requests.
 
 #include <cstdio>
-#include <cstdlib>
-#include <string>
 
-#include "common/parallel.h"
-#include "common/timer.h"
-#include "graph/algorithms.h"
-#include "graph/io.h"
-#include "ksym/release_io.h"
-#include "ksym/sampling.h"
+#include "serve/api.h"
 #include "tool_common.h"
 
-namespace {
-
-using ksym_tools::Fail;
-
-void Usage() {
-  std::fprintf(stderr,
-               "usage: ksym_sample --release release.ksym --output-prefix P\n"
-               "                   [--samples N] [--exact] [--seed S]\n"
-               "                   [--threads N] [--binary]\n");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  using namespace ksym;
-  std::string release_path;
-  std::string prefix;
-  size_t samples = 10;
-  bool exact = false;
-  uint64_t seed = 42;
-  uint32_t threads = 1;
-  bool binary = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--release") {
-      release_path = next();
-    } else if (arg == "--output-prefix") {
-      prefix = next();
-    } else if (arg == "--samples") {
-      samples = static_cast<size_t>(std::atoll(next()));
-    } else if (arg == "--exact") {
-      exact = true;
-    } else if (arg == "--seed") {
-      seed = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--threads") {
-      threads = static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--binary") {
-      binary = true;
-    } else {
-      Usage();
-      return 2;
-    }
-  }
-  if (release_path.empty() || prefix.empty()) {
-    Usage();
-    return 2;
+  ksym::serve::SampleRequest request;
+  ksym_tools::ArgParser parser(
+      "usage: ksym_sample --release release.ksym --output-prefix P\n"
+      "                   [--samples N] [--exact] [--seed S]\n"
+      "                   [--threads N] [--binary]");
+  parser.String("--release", &request.release,
+                "release triple (text or binary CSR)");
+  parser.String("--output-prefix", &request.output_prefix,
+                "samples are written as PREFIX.<i>.edges (or .ksymcsr)");
+  parser.U64("--samples", &request.samples, "number of samples to draw");
+  parser.Flag("--exact", &request.exact,
+              "exact backbone sampling (Algorithm 3) instead of approximate");
+  parser.U64("--seed", &request.seed, "base RNG seed");
+  parser.U32("--threads", &request.threads, "sampling worker threads");
+  parser.Flag("--binary", &request.binary,
+              "write samples in binary CSR form");
+  parser.ParseOrExit(argc, argv);
+  if (request.release.empty() || request.output_prefix.empty()) {
+    parser.FailUsage();
   }
 
-  // Accepts both the text release triple and the binary CSR release a
-  // merged sharded anonymization produces (detected by magic).
-  const auto release = ReadReleaseAuto(release_path);
-  if (!release.ok()) return Fail(release.status());
-  std::fprintf(stderr,
-               "release: %zu vertices, %zu edges, %zu cells, n=%zu\n",
-               release->graph.NumVertices(), release->graph.NumEdges(),
-               release->partition.cells.size(), release->original_vertices);
-
-  const Rng rng(seed);
-  ExecutionContext context(threads);
-  Timer timer;
-  BatchSampleOptions batch;
-  batch.num_samples = samples;
-  batch.target_vertices = release->original_vertices;
-  batch.exact = exact;
-  batch.context = &context;
-  const auto drawn =
-      DrawSamples(release->graph, release->partition, batch, rng);
-  if (!drawn.ok()) return Fail(drawn.status());
-  for (size_t i = 0; i < drawn->size(); ++i) {
-    const Graph& sample = (*drawn)[i];
-    const std::string path =
-        prefix + "." + std::to_string(i) + (binary ? ".ksymcsr" : ".edges");
-    const Status status = binary ? WriteCsrFile(sample, {}, path)
-                                 : WriteEdgeListFile(sample, path);
-    if (!status.ok()) return Fail(status);
-    const DegreeStats stats = ComputeDegreeStats(sample);
-    std::fprintf(stderr, "  %s: %zu vertices, %zu edges\n", path.c_str(),
-                 stats.num_vertices, stats.num_edges);
-  }
-  std::fprintf(stderr, "%zu %s samples in %.1f ms (threads=%u)\n", samples,
-               exact ? "exact" : "approximate", timer.ElapsedMillis(),
-               context.threads());
+  const auto response = ksym::serve::RunSample(request);
+  if (!response.ok()) return ksym_tools::Fail(response.status());
+  std::fputs(response->report.c_str(), stdout);
+  std::fputs(response->log.c_str(), stderr);
   return 0;
 }

@@ -33,15 +33,12 @@ namespace {
 
 using ksym_tools::Fail;
 
-void Usage() {
-  std::fprintf(
-      stderr,
-      "usage: ksym_shard split  --input G --output-prefix P\n"
-      "                         (--shards N | --max-entries M) [--no-validate]\n"
-      "       ksym_shard info   --manifest M [--resident-bytes B]\n"
-      "       ksym_shard verify --manifest M [--resident-bytes B]\n"
-      "       ksym_shard merge  --manifest M --output OUT\n");
-}
+constexpr const char kUsage[] =
+    "usage: ksym_shard split  --input G --output-prefix P\n"
+    "                         (--shards N | --max-entries M) [--no-validate]\n"
+    "       ksym_shard info   --manifest M [--resident-bytes B]\n"
+    "       ksym_shard verify --manifest M [--resident-bytes B]\n"
+    "       ksym_shard merge  --manifest M --output OUT";
 
 void PrintManifest(const ksym::ShardManifest& manifest) {
   std::fprintf(stderr, "manifest: %llu vertices, %zu edges (%llu entries), %zu shards\n",
@@ -148,78 +145,49 @@ int RunMerge(const std::string& manifest_path, const std::string& output) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    Usage();
-    return 2;
-  }
-  const std::string command = argv[1];
   std::string input;
   std::string output;
   std::string prefix;
   std::string manifest;
   ksym::PartitionOptions options;
-  bool validate = true;
+  bool no_validate = false;
   size_t resident_bytes = 0;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--input") {
-      input = next();
-    } else if (arg == "--output") {
-      output = next();
-    } else if (arg == "--output-prefix") {
-      prefix = next();
-    } else if (arg == "--manifest") {
-      manifest = next();
-    } else if (arg == "--shards") {
-      options.num_shards = static_cast<uint32_t>(std::atoi(next()));
-    } else if (arg == "--max-entries") {
-      options.max_entries = static_cast<uint64_t>(std::atoll(next()));
-    } else if (arg == "--no-validate") {
-      validate = false;
-    } else if (arg == "--resident-bytes") {
-      resident_bytes = static_cast<size_t>(std::atoll(next()));
-    } else {
-      Usage();
-      return 2;
-    }
-  }
+  // Subcommand first, then the shared flag set (each subcommand validates
+  // the flags it actually needs).
+  ksym_tools::ArgParser parser(kUsage);
+  parser.String("--input", &input, "graph to split (text or .ksymcsr)");
+  parser.String("--output", &output, "merged output .ksymcsr");
+  parser.String("--output-prefix", &prefix,
+                "shard files P.<i>.ksymcsr + P.manifest");
+  parser.String("--manifest", &manifest, "shard-set manifest file");
+  parser.U32("--shards", &options.num_shards, "split into N shards");
+  parser.U64("--max-entries", &options.max_entries,
+             "split by neighbor-entry budget per shard");
+  parser.Flag("--no-validate", &no_validate,
+              "skip checksum/structure validation of the split input");
+  parser.Size("--resident-bytes", &resident_bytes,
+              "residency cap for info/verify streaming");
+  if (argc < 2) parser.FailUsage();
+  const std::string command = argv[1];
+  parser.ParseOrExit(argc, argv, 2);
 
   if (command == "split") {
-    if (input.empty() || prefix.empty()) {
-      Usage();
-      return 2;
-    }
-    return RunSplit(input, prefix, options, validate);
+    if (input.empty() || prefix.empty()) parser.FailUsage();
+    return RunSplit(input, prefix, options, !no_validate);
   }
   if (command == "info") {
-    if (manifest.empty()) {
-      Usage();
-      return 2;
-    }
+    if (manifest.empty()) parser.FailUsage();
     return RunInfo(manifest, resident_bytes);
   }
   if (command == "verify") {
-    if (manifest.empty()) {
-      Usage();
-      return 2;
-    }
+    if (manifest.empty()) parser.FailUsage();
     return RunVerify(manifest, resident_bytes);
   }
   if (command == "merge") {
-    if (manifest.empty() || output.empty()) {
-      Usage();
-      return 2;
-    }
+    if (manifest.empty() || output.empty()) parser.FailUsage();
     return RunMerge(manifest, output);
   }
-  Usage();
-  return 2;
+  parser.FailUsage(
+      ksym::StrFormat("unknown command '%s'", command.c_str()).c_str());
 }
