@@ -6,7 +6,7 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr6.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr8.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
 // as counters, so the bench trajectory tracks space as well as time; the
 // thread-scaling sweeps record how sharded refinement
@@ -26,6 +26,17 @@
 // kernels over an 8-shard split of the 200k graph at LRU budgets of
 // 1/2/4/8 resident shards, against in-memory baselines — the
 // cap-vs-throughput trade the sharded subsystem exists to expose.
+//
+// The PR 8 SIMD family (BM_Simd*, registered per supported level in main)
+// measures the dispatched kernels — block/galloping sorted intersection,
+// bitset splitter counting, batched BFS expansion — with rdtsc cycle
+// stamps, and attaches each row's analytical prediction from the
+// simd/cost_model.h registry as predicted_cycles / measured_cycles /
+// predicted_over_measured counters. CI's bench smoke step fails when any
+// ratio leaves a generous band: the models police the kernels and vice
+// versa. The JSON context records the probed/active SIMD levels and the
+// honest build types of both the repo code and the linked google-benchmark
+// (the distro's library is a debug build; see bench/benchmarks.cmake).
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
@@ -54,8 +65,17 @@
 #include "shard/kernels.h"
 #include "shard/partitioner.h"
 #include "shard/sharded_graph.h"
+#include "simd/bfs.h"
+#include "simd/cost_model.h"
+#include "simd/intersect.h"
+#include "simd/simd.h"
+#include "simd/splitter.h"
 #include "stats/distributions.h"
 #include "stats/resilience.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
 
 namespace ksym {
 namespace {
@@ -786,10 +806,194 @@ BENCHMARK(BM_NeighborhoodMeasureThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// The SIMD kernel family (DESIGN.md §13): one row per (kernel, supported
+// level), registered dynamically from main so the JSON only contains rows
+// this machine actually executed. Each row times the raw kernel with rdtsc
+// stamps around the call alone (setup/reset excluded) and attaches the
+// cost-model prediction, so the artifact carries the predicted-vs-measured
+// ratio CI's band check consumes.
+
+/// TSC read; 0 on architectures without one (counters then report ratio 0,
+/// which the CI band check skips).
+inline uint64_t CycleStamp() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+std::vector<uint32_t> RandomSortedUnique(Rng& rng, size_t target,
+                                         uint32_t universe) {
+  std::vector<uint32_t> values;
+  values.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    values.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+/// Attaches the family's contract counters to one finished row.
+void AttachCycleCounters(benchmark::State& state, const char* kernel,
+                         simd::SimdLevel level, const simd::CostParams& params,
+                         uint64_t total_cycles) {
+  const double predicted = simd::PredictCycles(kernel, level, params).cycles;
+  const double measured =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(total_cycles) /
+                static_cast<double>(state.iterations());
+  state.counters["predicted_cycles"] = benchmark::Counter(predicted);
+  state.counters["measured_cycles"] = benchmark::Counter(measured);
+  state.counters["predicted_over_measured"] =
+      benchmark::Counter(measured > 0.0 ? predicted / measured : 0.0);
+}
+
+void BM_SimdIntersect(benchmark::State& state, simd::SimdLevel level) {
+  Rng rng(8080);
+  // Balanced dense pair: ~50% overlap, lengths past any block tail.
+  const std::vector<uint32_t> a = RandomSortedUnique(rng, 4096, 8192);
+  const std::vector<uint32_t> b = RandomSortedUnique(rng, 4096, 8192);
+  std::vector<uint32_t> out(std::min(a.size(), b.size()) +
+                            simd::kIntersectOutPadding);
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    const uint64_t t0 = CycleStamp();
+    const size_t got = simd::IntersectSortedBlock(
+        level, a.data(), a.size(), b.data(), b.size(), out.data());
+    cycles += CycleStamp() - t0;
+    benchmark::DoNotOptimize(got);
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::CostParams params;
+  params.na = a.size();
+  params.nb = b.size();
+  AttachCycleCounters(state, "intersect", level, params, cycles);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+
+void BM_SimdIntersectGallop(benchmark::State& state, simd::SimdLevel level) {
+  Rng rng(8081);
+  // Skewed pair well past PreferGallop's ratio: 64 probes into 64k.
+  const std::vector<uint32_t> a = RandomSortedUnique(rng, 64, 1u << 20);
+  const std::vector<uint32_t> b = RandomSortedUnique(rng, 65536, 1u << 20);
+  std::vector<uint32_t> out(std::min(a.size(), b.size()) +
+                            simd::kIntersectOutPadding);
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    const uint64_t t0 = CycleStamp();
+    const size_t got = simd::IntersectSortedGallop(
+        a.data(), a.size(), b.data(), b.size(), out.data());
+    cycles += CycleStamp() - t0;
+    benchmark::DoNotOptimize(got);
+  }
+  simd::CostParams params;
+  params.na = a.size();
+  params.nb = b.size();
+  AttachCycleCounters(state, "intersect_gallop", level, params, cycles);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size()));
+}
+
+void BM_SimdSplitterBitset(benchmark::State& state, simd::SimdLevel level) {
+  Rng rng(8082);
+  const size_t n = 1u << 16;
+  std::vector<uint64_t> bits(n / 64);
+  for (uint64_t& word : bits) word = rng.Next();
+  const std::vector<uint32_t> nbrs =
+      RandomSortedUnique(rng, 8192, static_cast<uint32_t>(n));
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    const uint64_t t0 = CycleStamp();
+    const uint64_t hits = simd::CountBitsetHits(level, nbrs.data(),
+                                                nbrs.size(), bits.data());
+    cycles += CycleStamp() - t0;
+    benchmark::DoNotOptimize(hits);
+  }
+  simd::CostParams params;
+  params.arcs = nbrs.size();
+  AttachCycleCounters(state, "splitter_bitset", level, params, cycles);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nbrs.size()));
+}
+
+void BM_SimdBfsExpand(benchmark::State& state, simd::SimdLevel level) {
+  Rng rng(8083);
+  const size_t n = 1u << 16;
+  // Mid-BFS shape: most neighbors already visited, ~1/16 still unvisited.
+  std::vector<int64_t> base(n);
+  size_t unvisited = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool hit = rng.NextBounded(16) == 0;
+    base[i] = hit ? -1 : static_cast<int64_t>(3);
+    unvisited += hit;
+  }
+  const std::vector<uint32_t> nbrs =
+      RandomSortedUnique(rng, 8192, static_cast<uint32_t>(n));
+  size_t hits_per_call = 0;
+  for (uint32_t w : nbrs) hits_per_call += base[w] < 0;
+  std::vector<int64_t> dist = base;
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    // Reset outside the stamps: the counters time the kernel alone.
+    dist = base;
+    out.clear();
+    const uint64_t t0 = CycleStamp();
+    simd::ExpandNeighbors(level, nbrs.data(), nbrs.size(), 4, dist.data(),
+                          out);
+    cycles += CycleStamp() - t0;
+    benchmark::DoNotOptimize(dist.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::CostParams params;
+  params.arcs = nbrs.size();
+  params.hit_fraction = static_cast<double>(hits_per_call) /
+                        static_cast<double>(nbrs.size());
+  AttachCycleCounters(state, "bfs_expand", level, params, cycles);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nbrs.size()));
+}
+
 }  // namespace
+
+// Registers one row per (kernel, level this machine can execute). Called
+// from main between Initialize and RunSpecifiedBenchmarks.
+void RegisterSimdBenches() {
+  std::vector<simd::SimdLevel> levels{simd::SimdLevel::kScalar};
+  for (simd::SimdLevel level :
+       {simd::SimdLevel::kSse42, simd::SimdLevel::kAvx2,
+        simd::SimdLevel::kNeon}) {
+    if (simd::SimdLevelSupported(level)) levels.push_back(level);
+  }
+  for (simd::SimdLevel level : levels) {
+    const std::string suffix = simd::SimdLevelName(level);
+    benchmark::RegisterBenchmark(("BM_SimdIntersect/" + suffix).c_str(),
+                                 BM_SimdIntersect, level);
+    benchmark::RegisterBenchmark(("BM_SimdIntersectGallop/" + suffix).c_str(),
+                                 BM_SimdIntersectGallop, level);
+    benchmark::RegisterBenchmark(("BM_SimdSplitterBitset/" + suffix).c_str(),
+                                 BM_SimdSplitterBitset, level);
+    benchmark::RegisterBenchmark(("BM_SimdBfsExpand/" + suffix).c_str(),
+                                 BM_SimdBfsExpand, level);
+  }
+}
+
 }  // namespace ksym
 
-// Custom main: defaults JSON output to BENCH_pr6.json so every run leaves a
+#ifndef KSYM_BENCH_BUILD_TYPE
+#define KSYM_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef KSYM_BENCHMARK_LIB_BUILD_TYPE
+#define KSYM_BENCHMARK_LIB_BUILD_TYPE "unknown"
+#endif
+
+// Custom main: defaults JSON output to BENCH_pr8.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -797,7 +1001,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr6.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr8.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);
@@ -808,6 +1012,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  ksym::RegisterSimdBenches();
   // Whether the thread sweeps ran on real cores: on a single-core container
   // the 2/4/8-thread rows measure scheduling overhead, not scaling.
   const unsigned hw = std::thread::hardware_concurrency();
@@ -819,6 +1024,26 @@ int main(int argc, char** argv) {
                  hw);
   }
   benchmark::AddCustomContext("hardware_concurrency", std::to_string(hw));
+  // Honest build provenance (bench/benchmarks.cmake probes the library):
+  // the distro's google-benchmark is a debug build on some machines, and
+  // BENCH_pr6.json recorded that silently. Now the artifact says so, and
+  // the run complains out loud.
+  benchmark::AddCustomContext("ksym_build_type", KSYM_BENCH_BUILD_TYPE);
+  benchmark::AddCustomContext("benchmark_library_build_type",
+                              KSYM_BENCHMARK_LIB_BUILD_TYPE);
+  if (std::strcmp(KSYM_BENCHMARK_LIB_BUILD_TYPE, "release") != 0) {
+    std::fprintf(stderr,
+                 "WARNING: linked google-benchmark library_build_type=%s — "
+                 "harness overheads are debug-sized; absolute times are "
+                 "pessimistic (kernel cycle counters are unaffected)\n",
+                 KSYM_BENCHMARK_LIB_BUILD_TYPE);
+  }
+  benchmark::AddCustomContext(
+      "simd_level",
+      ksym::simd::SimdLevelName(ksym::simd::ActiveSimdLevel()));
+  benchmark::AddCustomContext(
+      "simd_max_supported_level",
+      ksym::simd::SimdLevelName(ksym::simd::MaxSupportedSimdLevel()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

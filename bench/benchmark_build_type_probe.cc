@@ -1,0 +1,18 @@
+// Configure-time probe (bench/benchmarks.cmake): links the system
+// google-benchmark and runs one trivial benchmark in JSON mode so the
+// library's self-reported "library_build_type" context line can be
+// inspected. The value is compiled into the *library's* reporter, so this
+// is the only honest way to learn it — the imported CMake target does not
+// expose it.
+#include <benchmark/benchmark.h>
+
+static void BM_Probe(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(&state);
+}
+BENCHMARK(BM_Probe)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

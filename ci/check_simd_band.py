@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI band check for the SIMD cost model (DESIGN.md §13).
+
+Reads a google-benchmark JSON artifact and verifies every BM_Simd* row's
+predicted_over_measured counter lies inside a deliberately generous band.
+The analytical models in src/simd/cost_model.cc are first-order — the band
+is an honesty check that kernels and models drift together, not a
+cycle-accuracy gate. Rows with ratio 0 (no TSC on the host) are skipped.
+
+Usage: check_simd_band.py BENCH_JSON [LO HI]
+"""
+
+import json
+import sys
+
+DEFAULT_LO, DEFAULT_HI = 0.05, 20.0
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    lo, hi = (
+        (float(sys.argv[2]), float(sys.argv[3]))
+        if len(sys.argv) == 4
+        else (DEFAULT_LO, DEFAULT_HI)
+    )
+    with open(path) as f:
+        data = json.load(f)
+
+    failures = []
+    rows = 0
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if not name.startswith("BM_Simd"):
+            continue
+        ratio = bench.get("predicted_over_measured")
+        if ratio is None:
+            failures.append((name, "missing predicted_over_measured counter"))
+            continue
+        rows += 1
+        if ratio == 0:
+            print(f"SKIP {name}: no cycle counter on this host")
+            continue
+        if not lo <= ratio <= hi:
+            failures.append(
+                (name, f"predicted/measured {ratio:.4f} outside [{lo}, {hi}]")
+            )
+        else:
+            print(f"OK   {name}: predicted/measured {ratio:.4f}")
+
+    if rows == 0:
+        failures.append(("BM_Simd*", "no rows in artifact — family not run?"))
+    for name, why in failures:
+        print(f"FAIL {name}: {why}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

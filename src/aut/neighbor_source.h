@@ -76,7 +76,15 @@ class CsrNeighborSource final : public NeighborSource {
                              std::span<std::vector<VertexId>> touched) override;
 
  private:
+  /// True when the dense target-side pass should handle this splitter;
+  /// fills splitter_bits_ as a side effect when it returns true.
+  bool PrepareDenseSplitter(std::span<const VertexId> splitter);
+
   const Graph& graph_;
+  /// Splitter-membership bitmap scratch for the dense counting path
+  /// (simd/splitter.h); sized and zeroed per dense call, reused across
+  /// calls to avoid churn.
+  std::vector<uint64_t> splitter_bits_;
 };
 
 }  // namespace ksym

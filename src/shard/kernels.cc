@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "simd/bfs.h"
+#include "simd/intersect.h"
+#include "simd/simd.h"
 
 namespace ksym {
 
@@ -17,17 +20,34 @@ ShardView MustShard(ShardedGraph& graph, uint32_t s) {
   return std::move(view).value();
 }
 
+/// Intersection scratch sized for any vertex pair with u owned by `view`:
+/// the common-neighbor run is bounded by u's degree (the intersection
+/// consumes a suffix of u's list), plus block-store padding.
+std::vector<VertexId> MakeShardIntersectScratch(const ShardView& view) {
+  size_t max_degree = 0;
+  for (VertexId u = view.begin(); u < view.end(); ++u) {
+    max_degree = std::max(max_degree, view.Degree(u));
+  }
+  return std::vector<VertexId>(max_degree + simd::kIntersectOutPadding);
+}
+
 // Shard-pair core of ShardedTriangleCounts, mirroring algorithms.cc's
 // CountTrianglesRange: for each edge (u, v) with u in [ubegin, uend) of
 // shard `vi` and v a forward neighbour (> u) inside shard `vj`'s range,
-// intersect u's > v suffix with v's > v suffix. Every common value w closes
-// the triangle {u, v, w}; crediting all three corners per (si, sj) pair and
-// summing over sj reproduces the whole-graph corner counts term for term —
-// integer adds commute, so the totals are exactly equal.
+// intersect u's > v suffix with v's > v suffix via the dispatched SIMD
+// kernel (simd/intersect.h; skewed pairs gallop). Every common value w
+// closes the triangle {u, v, w}; crediting u and v with the whole count
+// and each w with 1 per (si, sj) pair and summing over sj reproduces the
+// whole-graph corner counts term for term — integer adds commute, so the
+// totals are exactly equal at every SIMD level.
 template <typename AddFn>
 void CountTrianglesShardPair(const ShardView& vi, const ShardView& vj,
                              VertexId ubegin, VertexId uend,
+                             std::vector<VertexId>& scratch,
                              const AddFn& add) {
+  const simd::SimdLevel simd_level = simd::ActiveSimdLevel();
+  uint64_t merges = 0;
+  uint64_t gallops = 0;
   for (VertexId u = ubegin; u < uend; ++u) {
     const auto nu = vi.Neighbors(u);
     // Forward neighbours of u restricted to vj's vertex range: a
@@ -38,24 +58,29 @@ void CountTrianglesShardPair(const ShardView& vi, const ShardView& vj,
     for (; itv != itv_end; ++itv) {
       const VertexId v = *itv;
       const auto nv = vj.Neighbors(v);
-      auto iu = itv + 1;  // First entry of nu greater than v.
-      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
-      while (iu != nu.end() && iv != nv.end()) {
-        if (*iu < *iv) {
-          ++iu;
-        } else if (*iv < *iu) {
-          ++iv;
-        } else {
-          const VertexId w = *iu;
-          add(u);
-          add(v);
-          add(w);
-          ++iu;
-          ++iv;
-        }
+      const auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      const uint32_t* pa = nu.data() + (itv - nu.begin()) + 1;
+      const size_t la = static_cast<size_t>(nu.end() - (itv + 1));
+      const uint32_t* pb = nv.data() + (iv - nv.begin());
+      const size_t lb = static_cast<size_t>(nv.end() - iv);
+      size_t common;
+      if (simd_level != simd::SimdLevel::kScalar &&
+          simd::PreferGallop(la, lb)) {
+        common = simd::IntersectSortedGallop(pa, la, pb, lb, scratch.data());
+        ++gallops;
+      } else {
+        common = simd::IntersectSortedBlock(simd_level, pa, la, pb, lb,
+                                            scratch.data());
+        ++merges;
       }
+      if (common == 0) continue;
+      add(u, common);
+      add(v, common);
+      for (size_t t = 0; t < common; ++t) add(scratch[t], 1);
     }
   }
+  simd::AddSimdCalls(simd::SimdKernel::kIntersect, merges);
+  simd::AddSimdCalls(simd::SimdKernel::kIntersectGallop, gallops);
 }
 
 /// True iff some forward edge from `vi` lands in [tbegin, tend) — the
@@ -101,24 +126,30 @@ std::vector<uint64_t> ShardedTriangleCounts(ShardedGraph& graph,
     // The views pin their mappings, so the pair loop stays correct even
     // when the residency cap evicts one of them from the cache.
     const ShardView vi = MustShard(graph, si);
+    // Scratch depends only on vi (the intersection consumes a suffix of
+    // u's list), so size it once per owning shard, not per pair.
+    std::vector<VertexId> scratch = MakeShardIntersectScratch(vi);
+    const size_t scratch_size = scratch.size();
     for (uint32_t sj = si; sj < num_shards; ++sj) {
       const ShardInfo& tj = graph.manifest().shards[sj];
       if (sj != si && !AnyForwardEdgeInto(vi, tj.begin, tj.end)) continue;
       const ShardView vj = MustShard(graph, sj);
       if (pool == nullptr) {
-        CountTrianglesShardPair(vi, vj, vi.begin(), vi.end(),
-                                [&tri](VertexId v) { ++tri[v]; });
+        CountTrianglesShardPair(
+            vi, vj, vi.begin(), vi.end(), scratch,
+            [&tri](VertexId v, uint64_t c) { tri[v] += c; });
       } else {
         const VertexId base = vi.begin();
         ParallelFor(pool, vi.NumVertices(),
-                    [&vi, &vj, &tri, base](size_t begin, size_t end,
-                                           uint32_t) {
+                    [&vi, &vj, &tri, base, scratch_size](
+                        size_t begin, size_t end, uint32_t) {
+                      std::vector<VertexId> scratch(scratch_size);
                       CountTrianglesShardPair(
                           vi, vj, base + static_cast<VertexId>(begin),
-                          base + static_cast<VertexId>(end),
-                          [&tri](VertexId v) {
+                          base + static_cast<VertexId>(end), scratch,
+                          [&tri](VertexId v, uint64_t c) {
                             std::atomic_ref<uint64_t> count(tri[v]);
-                            count.fetch_add(1, std::memory_order_relaxed);
+                            count.fetch_add(c, std::memory_order_relaxed);
                           });
                     });
       }
@@ -174,6 +205,7 @@ void ShardedBfsDistancesInto(ShardedGraph& graph, VertexId source,
   std::vector<VertexId> frontier{source};
   std::vector<VertexId> next;
   std::vector<std::vector<VertexId>> next_per_worker(workers);
+  const simd::SimdLevel simd_level = simd::ActiveSimdLevel();
   int64_t level = 0;
   while (!frontier.empty()) {
     // Sorting the frontier turns it into contiguous per-shard runs, so each
@@ -188,14 +220,14 @@ void ShardedBfsDistancesInto(ShardedGraph& graph, VertexId source,
       size_t j = i;
       while (j < frontier.size() && frontier[j] < view.end()) ++j;
       if (pool == nullptr) {
+        // Batch frontier expansion (simd/bfs.h): appends discoveries in
+        // neighbor-array order, matching the scalar loop exactly.
         for (size_t t = i; t < j; ++t) {
-          for (const VertexId w : view.Neighbors(frontier[t])) {
-            if (dist[w] < 0) {
-              dist[w] = level + 1;
-              next.push_back(w);
-            }
-          }
+          const auto nbrs = view.Neighbors(frontier[t]);
+          simd::ExpandNeighbors(simd_level, nbrs.data(), nbrs.size(),
+                                level + 1, dist.data(), next);
         }
+        simd::AddSimdCalls(simd::SimdKernel::kBfsExpand, 1);
       } else {
         for (auto& bucket : next_per_worker) bucket.clear();
         ParallelFor(

@@ -1,0 +1,313 @@
+#include "simd/intersect.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define KSYM_SIMD_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define KSYM_SIMD_NEON 1
+#endif
+
+namespace ksym {
+namespace simd {
+namespace {
+
+#if defined(KSYM_SIMD_X86)
+
+/// Compaction table for 4-lane blocks: lut4[mask] is the pshufb control
+/// moving the set-mask lanes of a 4x32 vector to the front, in lane order.
+struct Sse42Lut {
+  alignas(16) uint8_t shuffle[16][16];
+  uint8_t count[16];
+};
+
+Sse42Lut BuildSse42Lut() {
+  Sse42Lut lut{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int k = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (int byte = 0; byte < 4; ++byte) {
+          lut.shuffle[mask][4 * k + byte] =
+              static_cast<uint8_t>(4 * lane + byte);
+        }
+        ++k;
+      }
+    }
+    lut.count[mask] = static_cast<uint8_t>(k);
+    for (int rest = 4 * k; rest < 16; ++rest) {
+      lut.shuffle[mask][rest] = 0x80;  // Zero the don't-care bytes.
+    }
+  }
+  return lut;
+}
+
+const Sse42Lut& GetSse42Lut() {
+  static const Sse42Lut lut = BuildSse42Lut();
+  return lut;
+}
+
+/// Compaction table for 8-lane blocks: lut8[mask] is the permutevar8x32
+/// index vector moving the set-mask lanes to the front, in lane order.
+struct Avx2Lut {
+  alignas(32) uint32_t permute[256][8];
+  uint8_t count[256];
+};
+
+Avx2Lut BuildAvx2Lut() {
+  Avx2Lut lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int k = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1) lut.permute[mask][k++] = lane;
+    }
+    lut.count[mask] = static_cast<uint8_t>(k);
+    for (int rest = k; rest < 8; ++rest) lut.permute[mask][rest] = 0;
+  }
+  return lut;
+}
+
+const Avx2Lut& GetAvx2Lut() {
+  static const Avx2Lut lut = BuildAvx2Lut();
+  return lut;
+}
+
+/// 4-lane block intersection: compare the a-block against all 4 rotations
+/// of the b-block, compact the matched a-lanes, then advance whichever
+/// block has the smaller maximum (both on a tie). Strictly-increasing
+/// inputs mean each a-lane matches at most one rotation, so the OR of the
+/// compare masks marks exactly the common values.
+__attribute__((target("sse4.2")))
+size_t IntersectSse42(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, uint32_t* out) {
+  const Sse42Lut& lut = GetSse42Lut();
+  size_t i = 0, j = 0, k = 0;
+  if (na >= 4 && nb >= 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    while (true) {
+      const __m128i r1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+      const __m128i r2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+      const __m128i r3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+      __m128i m = _mm_cmpeq_epi32(va, vb);
+      m = _mm_or_si128(m, _mm_cmpeq_epi32(va, r1));
+      m = _mm_or_si128(m, _mm_cmpeq_epi32(va, r2));
+      m = _mm_or_si128(m, _mm_cmpeq_epi32(va, r3));
+      const int mask = _mm_movemask_ps(_mm_castsi128_ps(m));
+      const __m128i shuffled = _mm_shuffle_epi8(
+          va,
+          _mm_load_si128(reinterpret_cast<const __m128i*>(lut.shuffle[mask])));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k), shuffled);
+      k += lut.count[mask];
+      const uint32_t amax = a[i + 3];
+      const uint32_t bmax = b[j + 3];
+      bool refill_a = false, refill_b = false;
+      if (amax <= bmax) { i += 4; refill_a = true; }
+      if (bmax <= amax) { j += 4; refill_b = true; }
+      if (i + 4 > na || j + 4 > nb) break;
+      if (refill_a) {
+        va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      }
+      if (refill_b) {
+        vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      }
+    }
+  }
+  // Scalar merge over the tails.
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+/// 8-lane version of the same scheme; rotations go through permutevar8x32
+/// (lane rotation across the 128-bit halves needs a full-width permute).
+__attribute__((target("avx2")))
+size_t IntersectAvx2(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb, uint32_t* out) {
+  const Avx2Lut& lut = GetAvx2Lut();
+  size_t i = 0, j = 0, k = 0;
+  if (na >= 8 && nb >= 8) {
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    while (true) {
+      __m256i rb = vb;
+      __m256i m = _mm256_cmpeq_epi32(va, rb);
+      for (int r = 1; r < 8; ++r) {
+        rb = _mm256_permutevar8x32_epi32(rb, rot1);
+        m = _mm256_or_si256(m, _mm256_cmpeq_epi32(va, rb));
+      }
+      const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(m));
+      const __m256i compacted = _mm256_permutevar8x32_epi32(
+          va, _mm256_load_si256(
+                  reinterpret_cast<const __m256i*>(lut.permute[mask])));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), compacted);
+      k += lut.count[mask];
+      const uint32_t amax = a[i + 7];
+      const uint32_t bmax = b[j + 7];
+      bool refill_a = false, refill_b = false;
+      if (amax <= bmax) { i += 8; refill_a = true; }
+      if (bmax <= amax) { j += 8; refill_b = true; }
+      if (i + 8 > na || j + 8 > nb) break;
+      if (refill_a) {
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      }
+      if (refill_b) {
+        vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      }
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+#endif  // KSYM_SIMD_X86
+
+#if defined(KSYM_SIMD_NEON)
+
+/// NEON 4-lane block intersection: vectorized all-pairs compares (vext
+/// rotations), scalar compaction of the matched lanes. Compile-time-gated:
+/// AArch64 always has NEON, so no runtime probe beyond the level switch.
+size_t IntersectNeon(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, k = 0;
+  if (na >= 4 && nb >= 4) {
+    uint32x4_t va = vld1q_u32(a);
+    uint32x4_t vb = vld1q_u32(b);
+    while (true) {
+      uint32x4_t m = vceqq_u32(va, vb);
+      m = vorrq_u32(m, vceqq_u32(va, vextq_u32(vb, vb, 1)));
+      m = vorrq_u32(m, vceqq_u32(va, vextq_u32(vb, vb, 2)));
+      m = vorrq_u32(m, vceqq_u32(va, vextq_u32(vb, vb, 3)));
+      uint32_t lanes[4], values[4];
+      vst1q_u32(lanes, m);
+      vst1q_u32(values, va);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (lanes[lane] != 0) out[k++] = values[lane];
+      }
+      const uint32_t amax = a[i + 3];
+      const uint32_t bmax = b[j + 3];
+      bool refill_a = false, refill_b = false;
+      if (amax <= bmax) { i += 4; refill_a = true; }
+      if (bmax <= amax) { j += 4; refill_b = true; }
+      if (i + 4 > na || j + 4 > nb) break;
+      if (refill_a) va = vld1q_u32(a + i);
+      if (refill_b) vb = vld1q_u32(b + j);
+    }
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+#endif  // KSYM_SIMD_NEON
+
+/// Galloping core with `s` the short list and `l` the long one. `lo` is a
+/// monotone cursor: values are strictly increasing, so each search resumes
+/// past the previous hit.
+size_t GallopInto(const uint32_t* s, size_t ns, const uint32_t* l, size_t nl,
+                  uint32_t* out) {
+  size_t k = 0;
+  size_t lo = 0;
+  for (size_t i = 0; i < ns && lo < nl; ++i) {
+    const uint32_t value = s[i];
+    // Exponential bound: first offset with l[lo + offset] >= value.
+    size_t offset = 1;
+    while (lo + offset < nl && l[lo + offset] < value) offset <<= 1;
+    const size_t hi = std::min(nl, lo + offset + 1);
+    // Binary search in (lo-1, hi): the smallest index with l[idx] >= value.
+    const uint32_t* first = std::lower_bound(l + lo, l + hi, value);
+    lo = static_cast<size_t>(first - l);
+    if (lo < nl && l[lo] == value) {
+      out[k++] = value;
+      ++lo;
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+size_t IntersectSortedScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, k = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+size_t IntersectSortedGallop(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, uint32_t* out) {
+  return na <= nb ? GallopInto(a, na, b, nb, out)
+                  : GallopInto(b, nb, a, na, out);
+}
+
+size_t IntersectSortedBlock(SimdLevel level, const uint32_t* a, size_t na,
+                            const uint32_t* b, size_t nb, uint32_t* out) {
+  switch (level) {
+#if defined(KSYM_SIMD_X86)
+    case SimdLevel::kSse42:
+      return IntersectSse42(a, na, b, nb, out);
+    case SimdLevel::kAvx2:
+      return IntersectAvx2(a, na, b, nb, out);
+#endif
+#if defined(KSYM_SIMD_NEON)
+    case SimdLevel::kNeon:
+      return IntersectNeon(a, na, b, nb, out);
+#endif
+    default:
+      return IntersectSortedScalar(a, na, b, nb, out);
+  }
+}
+
+size_t IntersectSorted(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, uint32_t* out) {
+  const SimdLevel level = ActiveSimdLevel();
+  if (level != SimdLevel::kScalar && PreferGallop(na, nb)) {
+    return IntersectSortedGallop(a, na, b, nb, out);
+  }
+  return IntersectSortedBlock(level, a, na, b, nb, out);
+}
+
+}  // namespace simd
+}  // namespace ksym

@@ -1,0 +1,48 @@
+// Bitset-adjacency splitter counting — the dense-cell fast path behind the
+// NeighborSource seam (aut/neighbor_source.cc, DESIGN.md §13).
+//
+// The refiner's scalar counting loop walks the splitter's edges and
+// scatter-increments count[v] — unvectorizable as written. For *dense*
+// splitters (edge mass a large fraction of the graph) the same counts can
+// be computed from the target side: put the splitter in a bitmap, then
+// count[v] = |N(v) ∩ splitter| is a sum of bitmap tests over v's sorted
+// neighbor array — contiguous loads plus gathers, which do vectorize. Both
+// directions produce the exact same integers (each is the number of
+// splitter members adjacent to v in a simple graph), so the refinement
+// trace hash cannot tell them apart.
+
+#ifndef KSYM_SIMD_SPLITTER_H_
+#define KSYM_SIMD_SPLITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.h"
+
+namespace ksym {
+namespace simd {
+
+/// Number of values in `nbrs` whose bit is set in `bits` (bit w of
+/// bits[w >> 6], LSB-first). All values must index valid bits.
+uint64_t CountBitsetHits(SimdLevel level, const uint32_t* nbrs, size_t n,
+                         const uint64_t* bits);
+
+/// Density gate for the bitset path: true when the splitter's edge mass
+/// justifies the O(n + m) target-side pass over the scalar loop's
+/// O(splitter edges). splitter_arcs is the splitter's degree sum; total
+/// cost terms are the vertex count and the total arc count (2m).
+inline bool PreferBitsetSplitter(size_t splitter_arcs, size_t num_vertices,
+                                 size_t total_arcs) {
+  // The gathered target-side pass retires roughly kBitsetGain neighbor
+  // tests per scalar scatter-increment; below the threshold the verbatim
+  // loop wins and (by policy) keeps running unchanged.
+  constexpr size_t kBitsetGain = 4;
+  constexpr size_t kMinVertices = 256;  // Tiny graphs: never worth switching.
+  if (num_vertices < kMinVertices) return false;
+  return splitter_arcs * kBitsetGain >= num_vertices + total_arcs;
+}
+
+}  // namespace simd
+}  // namespace ksym
+
+#endif  // KSYM_SIMD_SPLITTER_H_
