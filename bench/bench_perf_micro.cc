@@ -6,7 +6,7 @@
 // rather than throughput.
 //
 // Run with no arguments to also write machine-readable JSON to
-// BENCH_pr8.json (override with the usual --benchmark_out= flags). Graph
+// BENCH_pr9.json (override with the usual --benchmark_out= flags). Graph
 // memory footprints (Graph::MemoryBytes) and process peak RSS are attached
 // as counters, so the bench trajectory tracks space as well as time; the
 // thread-scaling sweeps record how sharded refinement
@@ -49,7 +49,11 @@
 
 #include <filesystem>
 
+#include "attack/adjacency.h"
+#include "attack/community.h"
+#include "attack/harness.h"
 #include "attack/measures.h"
+#include "attack/sybil.h"
 #include "aut/orbits.h"
 #include "aut/refinement.h"
 #include "common/parallel.h"
@@ -807,6 +811,112 @@ BENCHMARK(BM_NeighborhoodMeasureThreads)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// The PR 9 adversary family (DESIGN.md §14): sybil-pattern recovery, the
+// (k,ℓ)-adjacency sweep and the community measure against one shared
+// anonymized release (built once; the anonymization itself is BM_Anonymize*
+// territory). The thread sweeps record how the anchor-sharded embedding
+// search and the parallel measure kernels scale; outputs are bit-identical
+// across the sweep, so the rows measure the same work.
+
+struct AttackBenchData {
+  Graph release;
+  SybilPlan plan;
+  VertexPartition orbits;
+};
+
+const AttackBenchData& AttackRelease() {
+  static const AttackBenchData* data = [] {
+    Rng rng(9);
+    const Graph host = BarabasiAlbert(128, 3, rng);
+    SybilPlantOptions plant_options;
+    plant_options.num_sybils = 6;
+    plant_options.num_targets = 3;
+    plant_options.seed = 7;
+    auto plant = PlantSybils(host, plant_options);
+    KSYM_CHECK(plant.ok());
+    AnonymizationOptions anon;
+    anon.k = 3;
+    auto release = Anonymize(plant->graph, anon);
+    KSYM_CHECK(release.ok());
+    auto* d = new AttackBenchData{std::move(release->graph),
+                                  std::move(plant->plan), {}};
+    d->orbits = ComputeAutomorphismPartition(d->release, {}, nullptr);
+    return d;
+  }();
+  return *data;
+}
+
+void BM_AttackSybilRecoveryThreads(benchmark::State& state) {
+  const AttackBenchData& data = AttackRelease();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  SybilRecoveryOptions options;
+  options.context = &context;
+  size_t embeddings = 0;
+  for (auto _ : state) {
+    const SybilAttackReport report =
+        RecoverSybils(data.release, data.plan, options);
+    embeddings = report.embeddings_found;
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.release.NumVertices()));
+  state.counters["embeddings"] =
+      benchmark::Counter(static_cast<double>(embeddings));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, data.release);
+}
+BENCHMARK(BM_AttackSybilRecoveryThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AttackAdjacencySweep(benchmark::State& state) {
+  const Graph& release = AttackRelease().release;
+  const StructuralMeasure measure =
+      AdjacencyMeasure(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByMeasure(release, measure));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(release.NumVertices()));
+  AttachMemoryCounters(state, release);
+}
+BENCHMARK(BM_AttackAdjacencySweep)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_AttackCommunityMeasure(benchmark::State& state) {
+  const Graph& release = AttackRelease().release;
+  const StructuralMeasure measure =
+      CommunityMeasure(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByMeasure(release, measure));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(release.NumVertices()));
+  AttachMemoryCounters(state, release);
+}
+BENCHMARK(BM_AttackCommunityMeasure)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_AttackPassiveHarnessThreads(benchmark::State& state) {
+  const AttackBenchData& data = AttackRelease();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  AttackHarnessOptions options;
+  options.k = 3;
+  options.context = &context;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluatePassiveAttacks(data.release, data.orbits, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.release.NumVertices()));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, data.release);
+}
+BENCHMARK(BM_AttackPassiveHarnessThreads)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // The SIMD kernel family (DESIGN.md §13): one row per (kernel, supported
 // level), registered dynamically from main so the JSON only contains rows
 // this machine actually executed. Each row times the raw kernel with rdtsc
@@ -993,7 +1103,7 @@ void RegisterSimdBenches() {
 #define KSYM_BENCHMARK_LIB_BUILD_TYPE "unknown"
 #endif
 
-// Custom main: defaults JSON output to BENCH_pr8.json so every run leaves a
+// Custom main: defaults JSON output to BENCH_pr9.json so every run leaves a
 // machine-readable trace, while still honouring explicit --benchmark_out=.
 int main(int argc, char** argv) {
   bool has_out = false;
@@ -1001,7 +1111,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr8.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr9.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);

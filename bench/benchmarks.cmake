@@ -78,7 +78,7 @@ function(ksym_bench name)
 endfunction()
 
 ksym_bench(bench_table1_datasets ksym_datasets ksym_core)
-ksym_bench(bench_fig2_knowledge_power ksym_datasets ksym_core ksym_attack)
+ksym_bench(bench_fig2_knowledge_power ksym_datasets ksym_core ksym_attack_lib)
 ksym_bench(bench_fig8_utility ksym_datasets ksym_core ksym_stats)
 ksym_bench(bench_fig9_convergence ksym_datasets ksym_core ksym_stats)
 ksym_bench(bench_fig10_hub_cost ksym_datasets ksym_core)
@@ -86,12 +86,12 @@ ksym_bench(bench_fig11_hub_utility ksym_datasets ksym_core ksym_stats)
 ksym_bench(bench_ablation_sampling ksym_datasets ksym_core ksym_stats)
 ksym_bench(bench_ablation_minimal ksym_datasets ksym_core)
 ksym_bench(bench_ablation_tdv ksym_datasets ksym_core)
-ksym_bench(bench_ablation_kdegree ksym_datasets ksym_core ksym_attack ksym_baseline)
+ksym_bench(bench_ablation_kdegree ksym_datasets ksym_core ksym_attack_lib ksym_baseline)
 ksym_bench(bench_ablation_skeleton ksym_datasets ksym_core ksym_stats)
-ksym_bench(bench_ablation_perturbation ksym_datasets ksym_core ksym_attack ksym_baseline ksym_stats)
+ksym_bench(bench_ablation_perturbation ksym_datasets ksym_core ksym_attack_lib ksym_baseline ksym_stats)
 ksym_bench(bench_ablation_cost_k ksym_datasets ksym_core)
 ksym_bench(bench_ablation_kautomorphism ksym_datasets ksym_core ksym_stats ksym_baseline)
-ksym_bench(bench_perf_micro ksym_datasets ksym_core ksym_attack ksym_stats ksym_sharding)
+ksym_bench(bench_perf_micro ksym_datasets ksym_core ksym_attack_lib ksym_stats ksym_sharding)
 target_link_libraries(bench_perf_micro PRIVATE benchmark::benchmark)
 target_compile_definitions(bench_perf_micro PRIVATE
   KSYM_BENCH_BUILD_TYPE="${CMAKE_BUILD_TYPE}"

@@ -1,9 +1,9 @@
 #include "attack/measures.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
+#include "attack/intern.h"
 #include "aut/canonical.h"
 #include "aut/refinement.h"
 #include "graph/algorithms.h"
@@ -11,18 +11,7 @@
 namespace ksym {
 namespace {
 
-// Interns arbitrary comparable keys into dense labels.
-template <typename Key>
-std::vector<uint32_t> InternLabels(std::vector<Key> keys) {
-  std::map<Key, uint32_t> table;
-  std::vector<uint32_t> labels(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    const auto [it, inserted] =
-        table.emplace(std::move(keys[i]), static_cast<uint32_t>(table.size()));
-    labels[i] = it->second;
-  }
-  return labels;
-}
+using attack_internal::InternLabels;
 
 std::vector<std::vector<uint32_t>> NeighborDegreeSequences(
     const Graph& graph, const ExecutionContext* context) {

@@ -1,0 +1,244 @@
+#include "attack/sybil.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ksym {
+namespace {
+
+// Adjacency of the (tiny) pattern as per-vertex bitmasks, so the inner
+// backtracking check is a mask compare instead of a binary search.
+std::vector<uint32_t> PatternMasks(const Graph& pattern) {
+  std::vector<uint32_t> masks(pattern.NumVertices(), 0);
+  pattern.ForEachEdge([&masks](VertexId u, VertexId v) {
+    masks[u] |= uint32_t{1} << v;
+    masks[v] |= uint32_t{1} << u;
+  });
+  return masks;
+}
+
+// State of one anchor's backtracking search, kept on one struct so the
+// recursion reads naturally. Positions are assigned in pattern-id order;
+// the path spine guarantees position i > 0 is adjacent to position i - 1,
+// so candidates always come from an assigned vertex's neighbour list.
+struct EmbeddingSearch {
+  const Graph& release;
+  const std::vector<uint32_t>& pattern_masks;
+  const std::vector<size_t>& planted_degrees;
+  uint64_t budget;  // Remaining candidate attempts for this anchor.
+  std::vector<VertexId> mapping;
+  std::vector<std::vector<VertexId>>& embeddings;
+
+  bool Extend(uint32_t position) {
+    const uint32_t s = static_cast<uint32_t>(pattern_masks.size());
+    if (position == s) {
+      embeddings.push_back(mapping);
+      return true;
+    }
+    const uint32_t mask = pattern_masks[position];
+    for (VertexId v : release.Neighbors(mapping[position - 1])) {
+      if (budget == 0) return false;
+      --budget;
+      if (release.Degree(v) < planted_degrees[position]) continue;
+      bool ok = true;
+      for (uint32_t j = 0; j < position && ok; ++j) {
+        if (mapping[j] == v) {
+          ok = false;
+        } else if (((mask >> j) & 1) != uint32_t{release.HasEdge(v, mapping[j])}) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      mapping[position] = v;
+      if (!Extend(position + 1)) return false;
+    }
+    return true;
+  }
+};
+
+// Per-shard recovery state, merged in shard order after the sweep.
+struct ShardResult {
+  std::vector<std::vector<VertexId>> embeddings;
+  std::vector<std::vector<VertexId>> candidates;  // Per target.
+  bool truncated = false;
+};
+
+}  // namespace
+
+Result<SybilPlant> PlantSybils(const Graph& graph,
+                               const SybilPlantOptions& options) {
+  if (options.num_sybils == 0 || options.num_sybils > 30) {
+    return Status::InvalidArgument("num_sybils must be in [1, 30]");
+  }
+  const uint64_t max_fingerprints =
+      (uint64_t{1} << options.num_sybils) - 1;
+  if (options.num_targets > max_fingerprints) {
+    return Status::InvalidArgument(
+        "num_targets exceeds the distinct non-empty fingerprints "
+        "2^num_sybils - 1");
+  }
+  if (options.num_targets > graph.NumVertices()) {
+    return Status::InvalidArgument("num_targets exceeds the vertex count");
+  }
+
+  const uint32_t s = options.num_sybils;
+  Rng rng(options.seed);
+
+  // Internal pattern: a path spine (so recovery can anchor-and-extend along
+  // guaranteed edges) plus seed-chosen chords (so the pattern is unlikely to
+  // occur naturally or to be symmetric).
+  GraphBuilder pattern_builder(s);
+  for (uint32_t i = 0; i + 1 < s; ++i) {
+    pattern_builder.AddEdge(i, i + 1);
+  }
+  Rng chord_rng = rng.Fork(0);
+  for (uint32_t i = 0; i < s; ++i) {
+    for (uint32_t j = i + 2; j < s; ++j) {
+      if (chord_rng.NextBernoulli(0.5)) pattern_builder.AddEdge(i, j);
+    }
+  }
+
+  SybilPlan plan;
+  plan.pattern = pattern_builder.Build();
+
+  // Targets: a seed-determined sample of distinct original vertices
+  // (partial Fisher-Yates over the id range).
+  Rng target_rng = rng.Fork(1);
+  std::vector<VertexId> ids(graph.NumVertices());
+  std::iota(ids.begin(), ids.end(), VertexId{0});
+  for (uint32_t t = 0; t < options.num_targets; ++t) {
+    const uint64_t j = t + target_rng.NextBounded(ids.size() - t);
+    std::swap(ids[t], ids[j]);
+    plan.targets.push_back(ids[t]);
+  }
+
+  // Fingerprint of target t is the bitmask t + 1: unique and non-empty by
+  // construction, and biased toward low-degree attachments (most targets
+  // touch few sybils), which keeps the injection unobtrusive.
+  for (uint32_t t = 0; t < options.num_targets; ++t) {
+    plan.fingerprints.push_back(t + 1);
+  }
+
+  GraphBuilder builder(graph.NumVertices() + s);
+  graph.ForEachEdge(
+      [&builder](VertexId u, VertexId v) { builder.AddEdge(u, v); });
+  for (uint32_t i = 0; i < s; ++i) {
+    plan.sybils.push_back(static_cast<VertexId>(graph.NumVertices() + i));
+  }
+  plan.pattern.ForEachEdge([&](VertexId u, VertexId v) {
+    builder.AddEdge(plan.sybils[u], plan.sybils[v]);
+  });
+  for (uint32_t t = 0; t < options.num_targets; ++t) {
+    for (uint32_t i = 0; i < s; ++i) {
+      if ((plan.fingerprints[t] >> i) & 1) {
+        builder.AddEdge(plan.targets[t], plan.sybils[i]);
+      }
+    }
+  }
+
+  SybilPlant plant;
+  plant.graph = builder.Build();
+  for (VertexId sybil : plan.sybils) {
+    plan.planted_degrees.push_back(plant.graph.Degree(sybil));
+  }
+  plant.plan = std::move(plan);
+  return plant;
+}
+
+SybilAttackReport RecoverSybils(const Graph& release, const SybilPlan& plan,
+                                const SybilRecoveryOptions& options) {
+  const uint32_t s = static_cast<uint32_t>(plan.pattern.NumVertices());
+  const size_t num_targets = plan.targets.size();
+  const std::vector<uint32_t> pattern_masks = PatternMasks(plan.pattern);
+
+  ThreadPool* pool = options.context == nullptr ? nullptr
+                                                : options.context->pool();
+  const uint32_t num_shards = pool == nullptr ? 1 : pool->num_threads();
+  std::vector<ShardResult> shards(num_shards);
+
+  ParallelFor(pool, release.NumVertices(), [&](size_t begin, size_t end,
+                                               uint32_t shard) {
+    ShardResult& result = shards[shard];
+    result.candidates.resize(num_targets);
+    // Scratch for fingerprint extraction: adjacency-to-embedding bitmask
+    // per vertex, reset via the touched list (never a full clear).
+    std::vector<uint32_t> mask_of(release.NumVertices(), 0);
+    std::vector<VertexId> touched;
+
+    for (VertexId anchor = static_cast<VertexId>(begin); anchor < end;
+         ++anchor) {
+      if (release.Degree(anchor) < plan.planted_degrees[0]) continue;
+      const size_t first_embedding = result.embeddings.size();
+      EmbeddingSearch search{release,
+                             pattern_masks,
+                             plan.planted_degrees,
+                             options.max_nodes_per_anchor,
+                             std::vector<VertexId>(s),
+                             result.embeddings};
+      search.mapping[0] = anchor;
+      if (!search.Extend(1)) result.truncated = true;
+
+      // Read each new embedding's fingerprints off the release adjacency.
+      for (size_t e = first_embedding; e < result.embeddings.size(); ++e) {
+        const std::vector<VertexId>& embedding = result.embeddings[e];
+        touched.clear();
+        for (uint32_t i = 0; i < s; ++i) {
+          for (VertexId u : release.Neighbors(embedding[i])) {
+            if (mask_of[u] == 0) touched.push_back(u);
+            mask_of[u] |= uint32_t{1} << i;
+          }
+        }
+        for (uint32_t i = 0; i < s; ++i) mask_of[embedding[i]] = 0;
+        for (VertexId u : touched) {
+          if (mask_of[u] == 0) continue;  // An embedded sybil, cleared above.
+          for (size_t t = 0; t < num_targets; ++t) {
+            if (mask_of[u] == plan.fingerprints[t]) {
+              result.candidates[t].push_back(u);
+            }
+          }
+        }
+        for (VertexId u : touched) mask_of[u] = 0;
+      }
+    }
+  });
+
+  SybilAttackReport report;
+  report.candidate_sets.resize(num_targets);
+  for (const ShardResult& shard : shards) {
+    report.embeddings_found += shard.embeddings.size();
+    report.truncated = report.truncated || shard.truncated;
+    for (const auto& embedding : shard.embeddings) {
+      if (std::equal(embedding.begin(), embedding.end(), plan.sybils.begin(),
+                     plan.sybils.end())) {
+        report.found_planted_embedding = true;
+      }
+    }
+    for (size_t t = 0; t < shard.candidates.size(); ++t) {
+      report.candidate_sets[t].insert(report.candidate_sets[t].end(),
+                                      shard.candidates[t].begin(),
+                                      shard.candidates[t].end());
+    }
+  }
+
+  double success_sum = 0.0;
+  for (size_t t = 0; t < num_targets; ++t) {
+    std::vector<VertexId>& candidates = report.candidate_sets[t];
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    const bool hit = std::binary_search(candidates.begin(), candidates.end(),
+                                        plan.targets[t]);
+    if (hit) success_sum += 1.0 / static_cast<double>(candidates.size());
+    if (hit && candidates.size() == 1) ++report.unique_reidentifications;
+  }
+  report.success_probability =
+      num_targets == 0 ? 0.0 : success_sum / static_cast<double>(num_targets);
+  return report;
+}
+
+}  // namespace ksym

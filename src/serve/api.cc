@@ -6,8 +6,10 @@
 #include <optional>
 #include <utility>
 
+#include "attack/harness.h"
 #include "attack/measures.h"
 #include "attack/reidentification.h"
+#include "attack/sybil.h"
 #include "aut/orbits.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -457,6 +459,109 @@ std::vector<Result<Response>> RunSampleBatch(
   return responses;
 }
 
+Result<Response> RunAttack(const AttackRequest& request, GraphCache* cache) {
+  if (request.input.empty()) {
+    return Status::InvalidArgument("--input is required");
+  }
+  if (request.k < 1) {
+    return Status::InvalidArgument("--k must be at least 1");
+  }
+  if (IsManifestFile(request.input)) {
+    return Status::InvalidArgument(
+        "attack needs the resident graph; sharded manifests are not "
+        "supported (anonymize the shard set first, then attack the "
+        "release)");
+  }
+
+  Response response;
+  KSYM_ASSIGN_OR_RETURN(const ResolvedGraph input,
+                        ResolveGraph(request.input, cache));
+  const Graph& graph = input.graph();
+  response.report += StrFormat("loaded %zu vertices, %zu edges\n",
+                               graph.NumVertices(), graph.NumEdges());
+  response.log += StrFormat("input %s [%s]\n", request.input.c_str(),
+                            input.mode);
+
+  ExecutionContext context(request.threads);
+
+  // Phase 1: the adversary injects its sybil subgraph *before* the
+  // publisher anonymizes — the active-attack threat model.
+  SybilPlantOptions plant_options;
+  plant_options.num_sybils = request.sybils;
+  plant_options.num_targets = request.targets;
+  plant_options.seed = request.seed;
+  KSYM_ASSIGN_OR_RETURN(const SybilPlant plant,
+                        PlantSybils(graph, plant_options));
+  response.report += StrFormat(
+      "planted %u sybils, %u fingerprinted targets (seed %llu): "
+      "+%zu edges\n",
+      request.sybils, request.targets,
+      static_cast<unsigned long long>(request.seed),
+      plant.graph.NumEdges() - graph.NumEdges());
+
+  SybilRecoveryOptions recovery;
+  recovery.context = &context;
+
+  // Baseline: attack the naively released (un-anonymized) augmented graph.
+  Timer timer;
+  const SybilAttackReport naive = RecoverSybils(plant.graph, plant.plan,
+                                                recovery);
+  response.log += StrFormat("naive recovery %.1f ms\n", timer.ElapsedMillis());
+
+  // Phase 2: the publisher anonymizes the augmented graph, sybils and all.
+  AnonymizationOptions options;
+  options.k = request.k;
+  options.use_total_degree_partition = request.tdv;
+  options.context = &context;
+  timer.Reset();
+  KSYM_ASSIGN_OR_RETURN(const AnonymizationResult result,
+                        Anonymize(plant.graph, options));
+  response.report += StrFormat(
+      "anonymized to k=%u: +%zu vertices, +%zu edges\n", request.k,
+      result.vertices_added, result.edges_added);
+  response.log += StrFormat("anonymize %.1f ms\n", timer.ElapsedMillis());
+  AppendPhaseStats(result.refinement, context.threads(), response.log);
+
+  // Phase 3: every adversary attacks the release. r_f/s_f compare against
+  // the release's exact orbits (not the released sub-automorphism
+  // partition, which subdivides them).
+  timer.Reset();
+  const VertexPartition orbits =
+      ComputeAutomorphismPartition(result.graph, {}, &context);
+  response.log += StrFormat("release orbits %.1f ms\n", timer.ElapsedMillis());
+  size_t min_orbit = result.graph.NumVertices();
+  for (const auto& cell : orbits.cells) {
+    min_orbit = std::min(min_orbit, cell.size());
+  }
+  response.report += StrFormat(
+      "release: %zu vertices, %zu edges, %zu orbits (min orbit %zu)\n\n",
+      result.graph.NumVertices(), result.graph.NumEdges(), orbits.NumCells(),
+      min_orbit);
+
+  timer.Reset();
+  const SybilAttackReport recovered = RecoverSybils(result.graph, plant.plan,
+                                                    recovery);
+  response.log += StrFormat("release recovery %.1f ms\n",
+                            timer.ElapsedMillis());
+  response.report += FormatSybilSection("naive release", plant.plan, naive);
+  response.report += FormatSybilSection("anonymized release", plant.plan,
+                                        recovered);
+  response.report += "\n";
+
+  AttackHarnessOptions harness;
+  harness.k = request.k;
+  harness.max_ell = request.max_ell;
+  harness.community_iterations = request.community_iters;
+  harness.context = &context;
+  timer.Reset();
+  const std::vector<MeasureAttackRow> rows =
+      EvaluatePassiveAttacks(result.graph, orbits, harness);
+  response.log += StrFormat("passive attacks %.1f ms (threads=%u)\n",
+                            timer.ElapsedMillis(), context.threads());
+  response.report += FormatPassiveSection(rows, request.k);
+  return response;
+}
+
 // ---------------------------------------------------------------------------
 // Wire decoding.
 // ---------------------------------------------------------------------------
@@ -532,6 +637,28 @@ Result<SampleRequest> SampleRequestFromWire(const WireObject& object) {
   request.threads =
       static_cast<uint32_t>(object.GetUint("threads", request.threads));
   request.binary = object.GetBool("binary", false);
+  return request;
+}
+
+Result<AttackRequest> AttackRequestFromWire(const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(CheckKeys(
+      object, {"input", "k", "tdv", "sybils", "targets", "seed", "max_ell",
+               "community_iters", "threads"}));
+  AttackRequest request;
+  request.input = object.GetString("input");
+  request.k = static_cast<uint32_t>(object.GetUint("k", request.k));
+  request.tdv = object.GetBool("tdv", false);
+  request.sybils =
+      static_cast<uint32_t>(object.GetUint("sybils", request.sybils));
+  request.targets =
+      static_cast<uint32_t>(object.GetUint("targets", request.targets));
+  request.seed = object.GetUint("seed", request.seed);
+  request.max_ell =
+      static_cast<uint32_t>(object.GetUint("max_ell", request.max_ell));
+  request.community_iters = static_cast<uint32_t>(
+      object.GetUint("community_iters", request.community_iters));
+  request.threads =
+      static_cast<uint32_t>(object.GetUint("threads", request.threads));
   return request;
 }
 

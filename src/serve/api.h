@@ -65,6 +65,22 @@ struct SampleRequest {
   bool binary = false;
 };
 
+/// Mirrors ksym_attack: end-to-end adversary benchmark. Plants a sybil
+/// subgraph into the input, anonymizes the augmented graph to k, then runs
+/// every adversary model (sybil recovery, (k,ℓ)-adjacency sweep, community
+/// signatures) against both the naive and the anonymized release.
+struct AttackRequest {
+  std::string input;
+  uint32_t k = 2;
+  bool tdv = false;
+  uint32_t sybils = 4;
+  uint32_t targets = 3;
+  uint64_t seed = 1;
+  uint32_t max_ell = 3;
+  uint32_t community_iters = 4;
+  uint32_t threads = 1;
+};
+
 struct Response {
   std::string report;
   std::string log;
@@ -75,6 +91,8 @@ Result<Response> RunAnonymize(const AnonymizeRequest& request,
 Result<Response> RunAudit(const AuditRequest& request,
                           GraphCache* cache = nullptr);
 Result<Response> RunSample(const SampleRequest& request,
+                           GraphCache* cache = nullptr);
+Result<Response> RunAttack(const AttackRequest& request,
                            GraphCache* cache = nullptr);
 
 /// Executes several sample requests as one batch: per-request releases are
@@ -98,6 +116,7 @@ std::vector<Result<Response>> RunSampleBatch(
 Result<AnonymizeRequest> AnonymizeRequestFromWire(const WireObject& object);
 Result<AuditRequest> AuditRequestFromWire(const WireObject& object);
 Result<SampleRequest> SampleRequestFromWire(const WireObject& object);
+Result<AttackRequest> AttackRequestFromWire(const WireObject& object);
 
 }  // namespace serve
 }  // namespace ksym

@@ -53,12 +53,13 @@ WireObject ErrorResponse(const Status& status) {
 }  // namespace
 
 struct Server::Job {
-  enum class Kind { kAnonymize, kAudit, kSample, kSleep };
+  enum class Kind { kAnonymize, kAudit, kSample, kAttack, kSleep };
 
   Kind kind = Kind::kSleep;
   AnonymizeRequest anonymize;
   AuditRequest audit;
   SampleRequest sample;
+  AttackRequest attack;
   uint64_t sleep_ms = 0;
 
   bool has_deadline = false;
@@ -268,6 +269,17 @@ std::string Server::HandleLine(const std::string& line) {
     job->sample = std::move(decoded).value();
     job->sample.threads = clamp_threads(job->sample.threads);
     job->cost = job->sample.threads;
+  } else if (op == "attack") {
+    auto decoded = AttackRequestFromWire(request);
+    if (!decoded.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+      return finish(ErrorResponse(decoded.status()));
+    }
+    job->kind = Job::Kind::kAttack;
+    job->attack = std::move(decoded).value();
+    job->attack.threads = clamp_threads(job->attack.threads);
+    job->cost = job->attack.threads;
   } else if (op == "sleep") {
     job->kind = Job::Kind::kSleep;
     job->sleep_ms = request.GetUint("ms", 0);
@@ -432,6 +444,10 @@ Server::Execute(std::vector<std::unique_ptr<Job>> jobs) {
       result = RunAudit(job.audit, cache_.get());
       phase_seconds = &stats_.audit_seconds;
       break;
+    case Job::Kind::kAttack:
+      result = RunAttack(job.attack, cache_.get());
+      phase_seconds = &stats_.attack_seconds;
+      break;
     case Job::Kind::kSleep: {
       std::this_thread::sleep_for(std::chrono::milliseconds(job.sleep_ms));
       Response response;
@@ -508,6 +524,8 @@ std::string Server::StatsReport() const {
   report += StrFormat("phase_audit_seconds: %.3f\n", snapshot.audit_seconds);
   report += StrFormat("phase_sample_seconds: %.3f\n",
                       snapshot.sample_seconds);
+  report += StrFormat("phase_attack_seconds: %.3f\n",
+                      snapshot.attack_seconds);
   return report;
 }
 

@@ -4,7 +4,8 @@
 // Protocol: newline-delimited wire objects (serve/wire.h), one request per
 // line, one response line per request, written in request order per
 // connection. Requests carry an "op" ("anonymize", "audit", "sample",
-// "stats", "sleep") plus that op's fields; optionally an "id" (echoed
+// "attack", "stats", "sleep") plus that op's fields; optionally an "id"
+// (echoed
 // verbatim) and a "deadline_ms" (relative admission deadline). Responses:
 //
 //   {"status":"ok","report":"...","log":"..."}
@@ -85,6 +86,7 @@ struct ServerStats {
   double anonymize_seconds = 0.0;  // Per-phase execution timers.
   double audit_seconds = 0.0;
   double sample_seconds = 0.0;
+  double attack_seconds = 0.0;
 };
 
 class Server {

@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <tuple>
 
+#include "attack/adjacency.h"
+#include "attack/community.h"
+#include "attack/harness.h"
 #include "attack/measures.h"
+#include "attack/sybil.h"
 #include "aut/canonical.h"
 #include "aut/isomorphism.h"
 #include "aut/orbits.h"
@@ -307,6 +312,110 @@ TEST_P(SkeletonProperty, DistinctImageCharacterizationOnRelease) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SkeletonProperty,
                          testing::ValuesIn(kGraphKinds));
+
+// ---------------------------------------------------------------------- //
+// Adversary invariants: on a k-symmetric release, every attack model's     //
+// candidate sets have size >= k, and the guarantee survives release_io.    //
+// ---------------------------------------------------------------------- //
+
+class AttackProperty
+    : public testing::TestWithParam<
+          std::tuple<const char*, uint32_t, uint64_t>> {};
+
+TEST_P(AttackProperty, EveryAdversaryCandidateSetAtLeastK) {
+  const auto [kind, k, seed] = GetParam();
+  Rng rng(seed);
+  const Graph graph = std::string(kind) == "er"
+                          ? ErdosRenyiGnm(24, 30, rng)
+                          : BarabasiAlbert(26, 2, rng);
+
+  // Active threat model: the adversary's sybils are in the graph *before*
+  // the publisher anonymizes.
+  SybilPlantOptions plant_options;
+  plant_options.seed = seed;
+  const auto plant = PlantSybils(graph, plant_options);
+  ASSERT_TRUE(plant.ok());
+
+  AnonymizationOptions options;
+  options.k = k;
+  const auto release = Anonymize(plant->graph, options);
+  ASSERT_TRUE(release.ok());
+
+  // Passive models: every structural measure is automorphism-equivariant,
+  // so its cells are unions of orbits and inherit the >= k floor.
+  for (const auto& measure :
+       {AdjacencyMeasure(1), AdjacencyMeasure(2), AdjacencyMeasure(3),
+        CommunityMeasure(4), DegreeMeasure()}) {
+    const VertexPartition cells =
+        PartitionByMeasure(release->graph, measure);
+    const CandidateStats stats = ComputeCandidateStats(cells, k);
+    EXPECT_GE(stats.min_size, k) << kind << " " << measure.name;
+    EXPECT_EQ(stats.under_k_vertices, 0u) << kind << " " << measure.name;
+  }
+
+  // Active model: the sybil pattern and the fingerprint edges survive the
+  // (insertion-only) anonymization, so recovery must find the planted
+  // embedding and place each target in its candidate set — but every
+  // automorphic image of the planting matches too, so the candidate set
+  // covers the target's orbit and has size >= k.
+  const SybilAttackReport report =
+      RecoverSybils(release->graph, plant->plan);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_TRUE(report.found_planted_embedding) << kind;
+  ASSERT_EQ(report.candidate_sets.size(), plant->plan.targets.size());
+  for (size_t t = 0; t < report.candidate_sets.size(); ++t) {
+    const auto& candidates = report.candidate_sets[t];
+    EXPECT_GE(candidates.size(), k) << kind << " target " << t;
+    EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                   plant->plan.targets[t]))
+        << kind << " target " << t;
+  }
+  EXPECT_LE(report.success_probability, 1.0 / static_cast<double>(k));
+}
+
+TEST_P(AttackProperty, OrbitFloorSurvivesReleaseRoundTrip) {
+  const auto [kind, k, seed] = GetParam();
+  Rng rng(seed + 500);
+  const Graph graph = std::string(kind) == "er"
+                          ? ErdosRenyiGnm(24, 30, rng)
+                          : BarabasiAlbert(26, 2, rng);
+  AnonymizationOptions options;
+  options.k = k;
+  const auto release = Anonymize(graph, options);
+  ASSERT_TRUE(release.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteRelease(MakeReleaseTriple(*release), out).ok());
+  std::istringstream in(out.str());
+  const auto loaded = ReadRelease(in);
+  ASSERT_TRUE(loaded.ok());
+
+  // The k-floor must hold on what an adversary actually downloads: the
+  // deserialized release's recomputed orbits, and every attack measure's
+  // candidate sets on the loaded graph.
+  const VertexPartition orbits =
+      ComputeAutomorphismPartition(loaded->graph, {}, nullptr);
+  for (const auto& orbit : orbits.cells) {
+    EXPECT_GE(orbit.size(), k) << kind;
+  }
+  for (const auto& measure : {AdjacencyMeasure(2), CommunityMeasure(4)}) {
+    const VertexPartition cells =
+        PartitionByMeasure(loaded->graph, measure);
+    EXPECT_GE(ComputeCandidateStats(cells, k).min_size, k)
+        << kind << " " << measure.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AttackProperty,
+    testing::Combine(testing::Values("er", "ba"),
+                     testing::Values(2u, 3u, 5u),
+                     testing::Values(11u, 97u)),
+    [](const testing::TestParamInfo<AttackProperty::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
 
 // ---------------------------------------------------------------------- //
 // Group-order cross-validation: IR search generators vs Schreier-Sims on   //
