@@ -59,6 +59,8 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "datasets/datasets.h"
+#include "dyn/delta_graph.h"
+#include "dyn/repair.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "ksym/anonymizer.h"
@@ -917,6 +919,125 @@ BENCHMARK(BM_AttackPassiveHarnessThreads)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// The dynamic-graph subsystem (DESIGN.md §15): edit-batch application cost
+// on the overlay, and incremental repair vs the full recompute it replaces
+// — the artifact carries both splitter counts so the "repair visits
+// strictly fewer splitters" claim is machine-checkable from the JSON.
+
+struct DynBenchData {
+  Graph base;
+  VertexPartition parent;               // TDV of `base`.
+  dyn::EditBatch batch;                 // One valid 8-edit batch.
+  std::vector<VertexId> touched;
+  Graph edited;                         // base + batch, compacted.
+};
+
+const DynBenchData& DynBench() {
+  static const DynBenchData* data = [] {
+    auto* d = new DynBenchData();
+    Rng rng(0xD1);
+    d->base = ErdosRenyiGnm(20000, 60000, rng);
+    ExecutionContext context(1);
+    d->parent = ComputeTotalDegreePartition(d->base, &context);
+    dyn::DeltaGraph delta(d->base);
+    for (int i = 0; i < 8;) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(20000));
+      const auto v = static_cast<VertexId>(rng.NextBounded(20000));
+      if (u == v || delta.HasEdge(u, v)) continue;
+      dyn::EditBatch single;
+      single.Insert(u, v);
+      if (!delta.Apply(single).ok()) continue;
+      d->batch.Insert(u, v);
+      ++i;
+    }
+    d->touched = d->batch.Endpoints();
+    d->edited = delta.Compact();
+    return d;
+  }();
+  return *data;
+}
+
+void BM_DeltaApply(benchmark::State& state) {
+  const DynBenchData& data = DynBench();
+  const size_t batches = static_cast<size_t>(state.range(0));
+  size_t overlay_entries = 0;
+  for (auto _ : state) {
+    dyn::DeltaGraph delta(data.base);
+    for (size_t b = 0; b < batches; ++b) {
+      // Alternate apply/undo so every batch is valid however many times
+      // the pair is replayed.
+      dyn::EditBatch batch = data.batch;
+      if (b % 2 == 1) {
+        batch.clear();
+        for (const dyn::Edit& e : data.batch.edits()) {
+          batch.Delete(e.u, e.v);
+        }
+      }
+      const Status status = delta.Apply(batch);
+      if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    }
+    overlay_entries = delta.OverlayEntries();
+    benchmark::DoNotOptimize(delta);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batches * data.batch.size()));
+  state.counters["overlay_entries"] =
+      benchmark::Counter(static_cast<double>(overlay_entries));
+  AttachMemoryCounters(state, data.base);
+}
+BENCHMARK(BM_DeltaApply)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_IncrementalRepair(benchmark::State& state) {
+  const DynBenchData& data = DynBench();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  dyn::DeltaGraph delta(data.base);
+  const Status applied = delta.Apply(data.batch);
+  if (!applied.ok()) state.SkipWithError(applied.ToString().c_str());
+  dyn::DeltaNeighborSource source(delta);
+  dyn::RepairStats stats;
+  for (auto _ : state) {
+    auto repaired = dyn::RepairTotalDegreePartition(source, data.parent,
+                                                    data.touched, &context,
+                                                    &stats);
+    if (!repaired.ok()) {
+      state.SkipWithError(repaired.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(repaired);
+  }
+  ExecutionContext full_context(1);
+  ComputeTotalDegreePartition(data.edited, &full_context);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.base.NumVertices()));
+  state.counters["repair_splitters"] =
+      benchmark::Counter(static_cast<double>(stats.refine_splitters));
+  state.counters["full_splitters"] = benchmark::Counter(
+      static_cast<double>(full_context.stats().splitters_processed));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, data.base);
+}
+BENCHMARK(BM_IncrementalRepair)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullRecomputeAfterEdits(benchmark::State& state) {
+  const DynBenchData& data = DynBench();
+  ExecutionContext context(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeTotalDegreePartition(data.edited, &context));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.base.NumVertices()));
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(context.threads()));
+  AttachMemoryCounters(state, data.edited);
+}
+BENCHMARK(BM_FullRecomputeAfterEdits)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // The SIMD kernel family (DESIGN.md §13): one row per (kernel, supported
 // level), registered dynamically from main so the JSON only contains rows
 // this machine actually executed. Each row times the raw kernel with rdtsc
@@ -1111,7 +1232,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
   std::vector<char*> args(argv, argv + argc);
-  static char out_flag[] = "--benchmark_out=BENCH_pr9.json";
+  static char out_flag[] = "--benchmark_out=BENCH_pr10.json";
   static char out_format[] = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag);

@@ -183,6 +183,12 @@ uint64_t Refiner::RefineFrom(OrderedPartition& p, uint32_t seed_start) {
   return DoRefine(p);
 }
 
+uint64_t Refiner::RefineSeeded(OrderedPartition& p,
+                               std::span<const uint32_t> seed_starts) {
+  worklist_.assign(seed_starts.begin(), seed_starts.end());
+  return DoRefine(p);
+}
+
 uint64_t Refiner::DoRefine(OrderedPartition& p) {
   ScopedPhaseTimer refine_timer(context_, &RefinementStats::refine_seconds);
   ThreadPool* pool = context_ != nullptr && !context_->IsSequential()

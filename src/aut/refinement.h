@@ -141,6 +141,18 @@ class Refiner {
   /// `p` was equitable before the split). Returns the trace hash.
   uint64_t RefineFrom(OrderedPartition& p, uint32_t seed_start);
 
+  /// Refines with the worklist seeded by an explicit set of current cell
+  /// starts — the incremental-repair entry point (dyn/repair.h). The caller
+  /// owns the soundness argument: the fixpoint is only the coarsest
+  /// equitable refinement of `p` if every cell NOT seeded is already
+  /// uniform against every cell of that fixpoint (DESIGN.md §15 spells out
+  /// the seed set the dynamic layer uses). `seed_starts` must be
+  /// duplicate-free cell starts of `p`; scheduling order follows the given
+  /// order, so pass them sorted for a deterministic trace. Returns the
+  /// trace hash.
+  uint64_t RefineSeeded(OrderedPartition& p,
+                        std::span<const uint32_t> seed_starts);
+
  private:
   /// A split computed by one shard, applied later by the merge step.
   struct SplitPlan {

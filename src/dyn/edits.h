@@ -1,0 +1,52 @@
+// Text forms of edit batches (DESIGN.md §15).
+//
+// Two formats, both total parsers (malformed bytes return a Status naming
+// the offending line/token, never crash — fuzz-pinned in dyn_test):
+//
+//  * The *trace* format, one directive per line, consumed by the
+//    `ksym_dynamic` replay CLI:
+//        # comment (blank lines ignored)
+//        add U V
+//        del U V
+//        epoch          <- commit the batch accumulated so far
+//    A trailing non-empty batch without a closing `epoch` is an error (a
+//    truncated trace should not silently drop edits).
+//
+//  * The *wire* form, a single ';'-separated string ("add 1 2;del 0 3")
+//    carried in one scalar JSON field of the daemon's `mutate` op — the
+//    wire format (serve/wire.h) is flat scalars only, so batches travel as
+//    one string.
+//
+// Parsing only builds EditBatch values; semantic validation (range,
+// presence, duplicates) happens at DeltaGraph::Apply.
+
+#ifndef KSYM_DYN_EDITS_H_
+#define KSYM_DYN_EDITS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dyn/delta_graph.h"
+
+namespace ksym {
+namespace dyn {
+
+/// Parses the trace format: one EditBatch per `epoch` directive, in order.
+Result<std::vector<EditBatch>> ParseEditTrace(std::string_view text);
+
+/// ParseEditTrace over a file's bytes.
+Result<std::vector<EditBatch>> ParseEditTraceFile(const std::string& path);
+
+/// Parses the wire form: ';'-separated `add U V` / `del U V` items. An
+/// empty string is an empty batch.
+Result<EditBatch> ParseEditList(std::string_view text);
+
+/// Inverse of ParseEditList (round-trips exactly).
+std::string FormatEditList(const EditBatch& batch);
+
+}  // namespace dyn
+}  // namespace ksym
+
+#endif  // KSYM_DYN_EDITS_H_

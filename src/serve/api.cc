@@ -113,8 +113,9 @@ Result<Response> RunAnonymizeSharded(const AnonymizeRequest& request,
   }
   if (!request.tdv) {
     return Status::InvalidArgument(
-        "sharded mode requires --tdv (the exact orbit search needs random "
-        "access to the whole graph)");
+        "sharded manifest input requires --tdv: the exact Orb(G) search "
+        "needs the resident graph (rerun with --tdv to anonymize the shard "
+        "set via the total degree partition)");
   }
 
   ShardedGraphOptions open_options;
@@ -469,8 +470,8 @@ Result<Response> RunAttack(const AttackRequest& request, GraphCache* cache) {
   if (IsManifestFile(request.input)) {
     return Status::InvalidArgument(
         "attack needs the resident graph; sharded manifests are not "
-        "supported (anonymize the shard set first, then attack the "
-        "release)");
+        "supported (anonymize the shard set with --tdv first, then attack "
+        "the release)");
   }
 
   Response response;

@@ -1,0 +1,221 @@
+#include "serve/dynamic.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/str.h"
+#include "common/timer.h"
+#include "dyn/edits.h"
+#include "graph/io.h"
+#include "ksym/release_io.h"
+#include "shard/manifest.h"
+
+namespace ksym {
+namespace serve {
+namespace {
+
+/// Same unknown-field rejection as the api.cc decoders: a typo'd flag must
+/// not silently become a default.
+Status CheckKeys(const WireObject& object,
+                 std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : object.fields) {
+    if (key == "op" || key == "id" || key == "deadline_ms") continue;
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          StrFormat("unknown request field \"%s\"", key.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Loads the base graph for a new session. The session outlives any cache
+/// pin, so the graph is deep-copied into owning storage either way; the
+/// cache still saves the parse on repeat creations from the same file.
+Result<Graph> LoadBaseGraph(const std::string& path, GraphCache* cache,
+                            std::string* mode) {
+  if (IsManifestFile(path)) {
+    return Status::InvalidArgument(
+        "dynamic sessions need the resident graph; sharded manifests are "
+        "not supported (merge the shard set, or anonymize it statically "
+        "with --tdv)");
+  }
+  if (cache != nullptr && IsCsrFile(path)) {
+    bool hit = false;
+    KSYM_ASSIGN_OR_RETURN(std::shared_ptr<const MappedCsrGraph> pinned,
+                          cache->GetGraph(path, &hit));
+    *mode = hit ? "binary csr, cached" : "binary csr, mmap";
+    return Graph(pinned->graph);  // Deep copy: owning.
+  }
+  if (cache != nullptr) cache->RecordBypass();
+  KSYM_ASSIGN_OR_RETURN(AutoLoadedGraph loaded, ReadGraphAuto(path));
+  *mode = loaded.binary ? "binary csr, mmap" : "text";
+  return Graph(loaded.graph);  // Deep copy out of the mapping's lifetime.
+}
+
+std::string ChecksumHex(uint64_t checksum) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(checksum));
+}
+
+}  // namespace
+
+Result<Response> RunMutate(const MutateRequest& request, DynamicState* state,
+                           GraphCache* cache) {
+  if (request.session.empty()) {
+    return Status::InvalidArgument("--session is required");
+  }
+  Response response;
+  Timer timer;
+  std::shared_ptr<dyn::DynamicRegistry::Entry> entry;
+  if (!request.input.empty()) {
+    std::string mode;
+    KSYM_ASSIGN_OR_RETURN(Graph base,
+                          LoadBaseGraph(request.input, cache, &mode));
+    KSYM_ASSIGN_OR_RETURN(
+        entry, state->registry.Create(request.session, std::move(base),
+                                      request.compact_ratio));
+    response.report += StrFormat(
+        "created session %s: %zu vertices, %zu edges\n",
+        request.session.c_str(), entry->session.graph().NumVertices(),
+        entry->session.graph().NumEdges());
+    response.log += StrFormat("input %s [%s]\n", request.input.c_str(),
+                              mode.c_str());
+  } else {
+    KSYM_ASSIGN_OR_RETURN(entry, state->registry.Find(request.session));
+  }
+  if (!request.edits.empty()) {
+    KSYM_ASSIGN_OR_RETURN(dyn::EditBatch batch,
+                          dyn::ParseEditList(request.edits));
+    std::lock_guard<std::mutex> lock(entry->mu);
+    KSYM_RETURN_IF_ERROR(entry->session.Stage(batch));
+    response.report += StrFormat("staged %zu edits (total staged %zu)\n",
+                                 batch.size(), entry->session.staged_edits());
+  } else if (request.input.empty()) {
+    return Status::InvalidArgument(
+        "mutate needs edits (or an input, to create the session)");
+  }
+  response.log += StrFormat("mutate %.1f ms\n", timer.ElapsedMillis());
+  return response;
+}
+
+Result<Response> RunCommit(const CommitRequest& request, DynamicState* state) {
+  if (request.session.empty()) {
+    return Status::InvalidArgument("--session is required");
+  }
+  KSYM_ASSIGN_OR_RETURN(std::shared_ptr<dyn::DynamicRegistry::Entry> entry,
+                        state->registry.Find(request.session));
+  Response response;
+  Timer timer;
+  dyn::CommitOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    KSYM_ASSIGN_OR_RETURN(outcome, entry->session.Commit());
+  }
+  response.report += StrFormat(
+      "committed %zu edits (%zu touched vertices): %zu edges now%s\n",
+      outcome.edits, outcome.touched_vertices, outcome.num_edges,
+      outcome.compacted ? ", compacted" : "");
+  response.log += StrFormat("commit %.1f ms (overlay ratio %.3f)\n",
+                            timer.ElapsedMillis(), outcome.overlay_ratio);
+  return response;
+}
+
+Result<Response> RunReanonymize(const ReanonymizeRequest& request,
+                                DynamicState* state) {
+  if (request.session.empty()) {
+    return Status::InvalidArgument("--session is required");
+  }
+  if (request.k < 1) {
+    return Status::InvalidArgument("--k must be at least 1");
+  }
+  KSYM_ASSIGN_OR_RETURN(std::shared_ptr<dyn::DynamicRegistry::Entry> entry,
+                        state->registry.Find(request.session));
+  Response response;
+  Timer timer;
+  ExecutionContext context(request.threads);
+  dyn::ReanonymizeOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    KSYM_ASSIGN_OR_RETURN(outcome,
+                          entry->session.Reanonymize(request.k, &context));
+  }
+  const char* path = outcome.release_cache_hit ? "release-cache-hit"
+                     : outcome.plan_cache_hit  ? "plan-cache-hit"
+                     : outcome.repaired        ? "incremental-repair"
+                                               : "full-refine";
+  response.report += StrFormat("reanonymize k=%u via %s\n", request.k, path);
+  response.report += StrFormat("graph checksum: %s\n",
+                               ChecksumHex(outcome.graph_checksum).c_str());
+  response.report += StrFormat(
+      "partition checksum: %s\n",
+      ChecksumHex(outcome.partition_checksum).c_str());
+  if (outcome.repaired) {
+    response.report += StrFormat(
+        "repair: %zu pool cells (%zu vertices), %zu seeds, "
+        "%llu splitters, %zu quotient merges\n",
+        outcome.repair.pool_cells, outcome.repair.pool_vertices,
+        outcome.repair.seed_cells,
+        static_cast<unsigned long long>(outcome.repair.refine_splitters),
+        outcome.repair.quotient_merges);
+  }
+  const ReleaseTriple& release = *outcome.release;
+  response.report += StrFormat(
+      "release: %zu vertices, %zu edges (%zu originals)\n",
+      release.graph.NumVertices(), release.graph.NumEdges(),
+      release.original_vertices);
+  if (!request.output.empty()) {
+    KSYM_RETURN_IF_ERROR(request.binary
+                             ? WriteReleaseCsrFile(release, request.output)
+                             : WriteReleaseFile(release, request.output));
+    response.report += StrFormat("wrote %s\n", request.output.c_str());
+  }
+  response.log += StrFormat("reanonymize %.1f ms (threads=%u)\n",
+                            timer.ElapsedMillis(), context.threads());
+  response.log += StrFormat(
+      "refinement: %llu refine calls, %llu splitters\n",
+      static_cast<unsigned long long>(context.stats().refine_calls),
+      static_cast<unsigned long long>(context.stats().splitters_processed));
+  return response;
+}
+
+Result<MutateRequest> MutateRequestFromWire(const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(CheckKeys(
+      object, {"session", "input", "edits", "compact_ratio"}));
+  MutateRequest request;
+  request.session = object.GetString("session");
+  request.input = object.GetString("input");
+  request.edits = object.GetString("edits");
+  request.compact_ratio =
+      object.GetDouble("compact_ratio", request.compact_ratio);
+  return request;
+}
+
+Result<CommitRequest> CommitRequestFromWire(const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(CheckKeys(object, {"session"}));
+  CommitRequest request;
+  request.session = object.GetString("session");
+  return request;
+}
+
+Result<ReanonymizeRequest> ReanonymizeRequestFromWire(
+    const WireObject& object) {
+  KSYM_RETURN_IF_ERROR(CheckKeys(
+      object, {"session", "output", "k", "binary", "threads"}));
+  ReanonymizeRequest request;
+  request.session = object.GetString("session");
+  request.output = object.GetString("output");
+  request.k = static_cast<uint32_t>(object.GetUint("k", request.k));
+  request.binary = object.GetBool("binary", false);
+  request.threads =
+      static_cast<uint32_t>(object.GetUint("threads", request.threads));
+  return request;
+}
+
+}  // namespace serve
+}  // namespace ksym

@@ -53,13 +53,25 @@ WireObject ErrorResponse(const Status& status) {
 }  // namespace
 
 struct Server::Job {
-  enum class Kind { kAnonymize, kAudit, kSample, kAttack, kSleep };
+  enum class Kind {
+    kAnonymize,
+    kAudit,
+    kSample,
+    kAttack,
+    kMutate,
+    kCommit,
+    kReanonymize,
+    kSleep
+  };
 
   Kind kind = Kind::kSleep;
   AnonymizeRequest anonymize;
   AuditRequest audit;
   SampleRequest sample;
   AttackRequest attack;
+  MutateRequest mutate;
+  CommitRequest commit;
+  ReanonymizeRequest reanonymize;
   uint64_t sleep_ms = 0;
 
   bool has_deadline = false;
@@ -75,6 +87,7 @@ Server::Server(const ServerOptions& options) : options_(options) {
   if (options_.thread_budget == 0) options_.thread_budget = 1;
   if (options_.max_queue == 0) options_.max_queue = 1;
   cache_ = std::make_unique<GraphCache>(options_.cache_bytes);
+  dynamic_ = std::make_unique<DynamicState>(options_.plan_cache_bytes);
   paused_ = options_.start_paused;
 }
 
@@ -280,6 +293,37 @@ std::string Server::HandleLine(const std::string& line) {
     job->attack = std::move(decoded).value();
     job->attack.threads = clamp_threads(job->attack.threads);
     job->cost = job->attack.threads;
+  } else if (op == "mutate") {
+    auto decoded = MutateRequestFromWire(request);
+    if (!decoded.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+      return finish(ErrorResponse(decoded.status()));
+    }
+    job->kind = Job::Kind::kMutate;
+    job->mutate = std::move(decoded).value();
+    job->cost = 1;
+  } else if (op == "commit") {
+    auto decoded = CommitRequestFromWire(request);
+    if (!decoded.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+      return finish(ErrorResponse(decoded.status()));
+    }
+    job->kind = Job::Kind::kCommit;
+    job->commit = std::move(decoded).value();
+    job->cost = 1;
+  } else if (op == "reanonymize") {
+    auto decoded = ReanonymizeRequestFromWire(request);
+    if (!decoded.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+      return finish(ErrorResponse(decoded.status()));
+    }
+    job->kind = Job::Kind::kReanonymize;
+    job->reanonymize = std::move(decoded).value();
+    job->reanonymize.threads = clamp_threads(job->reanonymize.threads);
+    job->cost = job->reanonymize.threads;
   } else if (op == "sleep") {
     job->kind = Job::Kind::kSleep;
     job->sleep_ms = request.GetUint("ms", 0);
@@ -448,6 +492,18 @@ Server::Execute(std::vector<std::unique_ptr<Job>> jobs) {
       result = RunAttack(job.attack, cache_.get());
       phase_seconds = &stats_.attack_seconds;
       break;
+    case Job::Kind::kMutate:
+      result = RunMutate(job.mutate, dynamic_.get(), cache_.get());
+      phase_seconds = &stats_.mutate_seconds;
+      break;
+    case Job::Kind::kCommit:
+      result = RunCommit(job.commit, dynamic_.get());
+      phase_seconds = &stats_.commit_seconds;
+      break;
+    case Job::Kind::kReanonymize:
+      result = RunReanonymize(job.reanonymize, dynamic_.get());
+      phase_seconds = &stats_.reanonymize_seconds;
+      break;
     case Job::Kind::kSleep: {
       std::this_thread::sleep_for(std::chrono::milliseconds(job.sleep_ms));
       Response response;
@@ -500,14 +556,26 @@ std::string Server::StatsReport() const {
   line("queue_depth", snapshot.queue_depth);
   line("running_threads", snapshot.running_threads);
   line("thread_budget", options_.thread_budget);
-  line("cache_hits", cache.hits);
-  line("cache_misses", cache.misses);
-  line("cache_evictions", cache.evictions);
-  line("cache_bypasses", cache.bypasses);
-  line("cache_resident_bytes", cache.resident_bytes);
-  line("cache_peak_resident_bytes", cache.peak_resident_bytes);
-  line("cache_entries", cache.entries);
-  line("cache_max_bytes", cache_->max_bytes());
+  // The two caches report the same counter set under uniform prefixes
+  // (greppable: ^graph_cache_ / ^plan_cache_), so dashboards and the CI
+  // smoke treat them interchangeably.
+  line("graph_cache_hits", cache.hits);
+  line("graph_cache_misses", cache.misses);
+  line("graph_cache_evictions", cache.evictions);
+  line("graph_cache_bypasses", cache.bypasses);
+  line("graph_cache_resident_bytes", cache.resident_bytes);
+  line("graph_cache_peak_resident_bytes", cache.peak_resident_bytes);
+  line("graph_cache_entries", cache.entries);
+  line("graph_cache_max_bytes", cache_->max_bytes());
+  const dyn::PlanCacheStats plan = dynamic_->registry.plan_cache().stats();
+  line("plan_cache_hits", plan.hits);
+  line("plan_cache_misses", plan.misses);
+  line("plan_cache_evictions", plan.evictions);
+  line("plan_cache_resident_bytes", plan.resident_bytes);
+  line("plan_cache_peak_resident_bytes", plan.peak_resident_bytes);
+  line("plan_cache_entries", plan.entries);
+  line("plan_cache_max_bytes", dynamic_->registry.plan_cache().max_bytes());
+  line("dynamic_sessions", dynamic_->registry.num_sessions());
   // Which SIMD tier the daemon dispatched to, and how often each kernel
   // family has actually run — so a live instance's hot paths are auditable
   // without a debugger (DESIGN.md §13).
@@ -526,6 +594,12 @@ std::string Server::StatsReport() const {
                       snapshot.sample_seconds);
   report += StrFormat("phase_attack_seconds: %.3f\n",
                       snapshot.attack_seconds);
+  report += StrFormat("phase_mutate_seconds: %.3f\n",
+                      snapshot.mutate_seconds);
+  report += StrFormat("phase_commit_seconds: %.3f\n",
+                      snapshot.commit_seconds);
+  report += StrFormat("phase_reanonymize_seconds: %.3f\n",
+                      snapshot.reanonymize_seconds);
   return report;
 }
 

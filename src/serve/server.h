@@ -4,9 +4,9 @@
 // Protocol: newline-delimited wire objects (serve/wire.h), one request per
 // line, one response line per request, written in request order per
 // connection. Requests carry an "op" ("anonymize", "audit", "sample",
-// "attack", "stats", "sleep") plus that op's fields; optionally an "id"
-// (echoed
-// verbatim) and a "deadline_ms" (relative admission deadline). Responses:
+// "attack", "mutate", "commit", "reanonymize", "stats", "sleep") plus that
+// op's fields; optionally an "id" (echoed verbatim) and a "deadline_ms"
+// (relative admission deadline). Responses:
 //
 //   {"status":"ok","report":"...","log":"..."}
 //   {"status":"error","error":"InvalidArgument: ..."}
@@ -46,6 +46,7 @@
 #include "common/status.h"
 #include "serve/api.h"
 #include "serve/cache.h"
+#include "serve/dynamic.h"
 
 namespace ksym {
 namespace serve {
@@ -55,6 +56,9 @@ struct ServerOptions {
 
   /// Graph-cache LRU cap (serve/cache.h).
   size_t cache_bytes = size_t{1} << 30;
+
+  /// Plan-cache LRU cap (dyn/plan_cache.h) for the dynamic-graph ops.
+  size_t plan_cache_bytes = size_t{256} << 20;
 
   /// Global compute-thread budget; also the worker count. Each request's
   /// `threads` is clamped to this.
@@ -87,6 +91,9 @@ struct ServerStats {
   double audit_seconds = 0.0;
   double sample_seconds = 0.0;
   double attack_seconds = 0.0;
+  double mutate_seconds = 0.0;
+  double commit_seconds = 0.0;
+  double reanonymize_seconds = 0.0;
 };
 
 class Server {
@@ -110,6 +117,7 @@ class Server {
 
   ServerStats stats() const;
   GraphCache& cache() { return *cache_; }
+  DynamicState& dynamic_state() { return *dynamic_; }
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -135,6 +143,7 @@ class Server {
 
   ServerOptions options_;
   std::unique_ptr<GraphCache> cache_;
+  std::unique_ptr<DynamicState> dynamic_;
 
   int listen_fd_ = -1;
   std::thread accept_thread_;

@@ -383,6 +383,11 @@ TEST(ManifestErrorTest, AnonymizeWithoutTdvNamesTheMissingFlag) {
   EXPECT_NE(response.status().ToString().find("requires --tdv"),
             std::string::npos)
       << response.status().ToString();
+  // Consistent with the attack op: both errors name the resident-graph
+  // limitation and the --tdv workaround.
+  EXPECT_NE(response.status().ToString().find("resident graph"),
+            std::string::npos)
+      << response.status().ToString();
 }
 
 TEST(ManifestErrorTest, AttackRefusesManifestsWithGuidance) {
@@ -395,6 +400,11 @@ TEST(ManifestErrorTest, AttackRefusesManifestsWithGuidance) {
   EXPECT_NE(response.status().ToString().find(
                 "sharded manifests are not supported"),
             std::string::npos)
+      << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("resident graph"),
+            std::string::npos)
+      << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("--tdv"), std::string::npos)
       << response.status().ToString();
 }
 

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "attack/adjacency.h"
 #include "attack/community.h"
@@ -18,6 +20,7 @@
 #include "aut/isomorphism.h"
 #include "aut/orbits.h"
 #include "aut/search.h"
+#include "dyn/session.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "ksym/anonymizer.h"
@@ -460,6 +463,90 @@ TEST_P(GroupOrderProperty, OrderInvariantUnderRelabeling) {
 INSTANTIATE_TEST_SUITE_P(Sweep, GroupOrderProperty,
                          testing::Combine(testing::Values(0, 1, 2, 3),
                                           testing::Values(11u, 22u, 33u)));
+
+// ---------------------------------------------------------------------- //
+// Dynamic sweep: on an evolving graph, every per-epoch release produced   //
+// through the incremental session (DESIGN.md §15) keeps the passive       //
+// adversary's candidate-set floor at k — the incremental repair path must //
+// never leak anonymity a full recompute would have provided.              //
+// ---------------------------------------------------------------------- //
+
+class DynamicProperty
+    : public testing::TestWithParam<
+          std::tuple<const char*, uint32_t, uint64_t>> {};
+
+TEST_P(DynamicProperty, EveryEpochReleaseKeepsTheCandidateFloor) {
+  const auto [kind, k, seed] = GetParam();
+  Rng rng(seed);
+  Graph base = std::string(kind) == "er" ? ErdosRenyiGnm(24, 30, rng)
+                                         : BarabasiAlbert(26, 2, rng);
+  const size_t n = base.NumVertices();
+
+  dyn::PlanCache cache(size_t{64} << 20);
+  dyn::DynamicSession session("sweep", std::move(base), 0.25, &cache);
+  ExecutionContext context(1);
+
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    // Three random valid edits per epoch: inserts of absent pairs mixed
+    // with deletes of present edges, no pair edited twice in one batch.
+    dyn::EditBatch batch;
+    std::set<std::pair<VertexId, VertexId>> in_batch;
+    const dyn::DeltaGraph& graph = session.graph();
+    for (int i = 0; i < 3; ++i) {
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+        VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (u == v) continue;
+        if (u > v) std::swap(u, v);
+        if (!in_batch.insert({u, v}).second) continue;
+        if (graph.HasEdge(u, v) && rng.NextBounded(3) == 0) {
+          batch.Delete(u, v);
+          break;
+        }
+        if (!graph.HasEdge(u, v)) {
+          batch.Insert(u, v);
+          break;
+        }
+        in_batch.erase({u, v});
+      }
+    }
+    ASSERT_FALSE(batch.empty());
+    ASSERT_TRUE(session.Stage(batch).ok());
+    ASSERT_TRUE(session.Commit().ok());
+
+    auto outcome = session.Reanonymize(k, &context);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_NE(outcome->release, nullptr);
+    if (epoch > 0) {
+      // Past the first epoch the plan chain is warm: the session must be
+      // repairing, not recomputing.
+      EXPECT_TRUE(outcome->repaired || outcome->plan_cache_hit ||
+                  outcome->release_cache_hit)
+          << kind << " epoch " << epoch;
+    }
+
+    for (const auto& measure :
+         {AdjacencyMeasure(2), CommunityMeasure(4), DegreeMeasure()}) {
+      const VertexPartition cells =
+          PartitionByMeasure(outcome->release->graph, measure);
+      const CandidateStats stats = ComputeCandidateStats(cells, k);
+      EXPECT_GE(stats.min_size, k)
+          << kind << " epoch " << epoch << " " << measure.name;
+      EXPECT_EQ(stats.under_k_vertices, 0u)
+          << kind << " epoch " << epoch << " " << measure.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicProperty,
+    testing::Combine(testing::Values("er", "ba"), testing::Values(2u, 3u),
+                     testing::Values(11u, 97u)),
+    [](const testing::TestParamInfo<DynamicProperty::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
 
 }  // namespace
 }  // namespace ksym

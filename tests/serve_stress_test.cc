@@ -176,6 +176,34 @@ TEST(ServeStressTest, ConcurrentClientsWithFaultInjectionStayHealthy) {
   EXPECT_EQ(response->GetString("status"), "ok");
   EXPECT_EQ(response->GetString("report"), direct->report);
 
+  // The dynamic ops also still work post-storm, and the stats report
+  // carries the uniform cache counters (greppable ^graph_cache_ /
+  // ^plan_cache_ prefixes, same keys as the ksym_dynamic stderr log).
+  TestClient dynamic_client(options.socket_path);
+  ASSERT_TRUE(dynamic_client.connected());
+  auto mutated = ParseWireLine(dynamic_client.RoundTrip(
+      "{\"op\":\"mutate\",\"session\":\"storm\",\"input\":\"" + input +
+      "\",\"edits\":\"add 0 2\"}"));
+  ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+  EXPECT_EQ(mutated->GetString("status"), "ok");
+  auto committed = ParseWireLine(dynamic_client.RoundTrip(
+      "{\"op\":\"commit\",\"session\":\"storm\"}"));
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->GetString("status"), "ok");
+  auto reanonymized = ParseWireLine(dynamic_client.RoundTrip(
+      "{\"op\":\"reanonymize\",\"session\":\"storm\",\"k\":2}"));
+  ASSERT_TRUE(reanonymized.ok());
+  EXPECT_EQ(reanonymized->GetString("status"), "ok");
+  auto stats_line = ParseWireLine(dynamic_client.RoundTrip("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(stats_line.ok());
+  const std::string stats_report = stats_line->GetString("report");
+  for (const char* key :
+       {"graph_cache_hits: ", "graph_cache_entries: ", "plan_cache_hits: ",
+        "plan_cache_misses: ", "plan_cache_entries: 2",
+        "dynamic_sessions: 1", "phase_reanonymize_seconds: "}) {
+    EXPECT_NE(stats_report.find(key), std::string::npos) << key;
+  }
+
   // Counter reconciliation after Stop() has drained the queue and joined
   // the workers (fire-and-forget jobs may still be in flight until then):
   // every admitted job was answered exactly once, nothing leaked in the

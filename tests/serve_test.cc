@@ -538,7 +538,12 @@ TEST(ServerTest, AuditMatchesCliByteForByteAndCaches) {
   ASSERT_TRUE(stats.ok());
   const std::string report = stats->GetString("report");
   EXPECT_NE(report.find("completed: 2\n"), std::string::npos) << report;
-  EXPECT_NE(report.find("cache_hits: 1\n"), std::string::npos) << report;
+  EXPECT_NE(report.find("graph_cache_hits: 1\n"), std::string::npos)
+      << report;
+  // The plan cache reports the same counter set under its own prefix.
+  EXPECT_NE(report.find("plan_cache_hits: 0\n"), std::string::npos) << report;
+  EXPECT_NE(report.find("plan_cache_entries: 0\n"), std::string::npos)
+      << report;
   server.Stop();
 }
 
